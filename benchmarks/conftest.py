@@ -1,0 +1,75 @@
+"""Shared machinery for the per-figure benchmarks.
+
+Each benchmark regenerates one figure of the paper at the ``bench``
+scale preset (144-host fabric, truncated tails — see
+``repro.experiments.defaults``), times it with pytest-benchmark
+(one round: a simulation is deterministic, re-running it only burns
+time), prints the paper-style table, and archives it under
+``benchmarks/results/``.
+
+Select the scale with ``--figure-scale {tiny,bench,full}`` — tiny for a
+quick smoke, full for a faithful (hours-long) regeneration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import FigureResult, render
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--figure-scale",
+        default=os.environ.get("REPRO_SCALE", "bench"),
+        choices=["tiny", "bench", "full"],
+        help="scale preset for figure regeneration (default: bench)",
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_scale(request) -> str:
+    return request.config.getoption("--figure-scale")
+
+
+@pytest.fixture
+def regen(benchmark, figure_scale):
+    """Run a figure driver once under the benchmark timer and report it."""
+
+    def _run(figure_name: str, seed: int = 42) -> FigureResult:
+        result = benchmark.pedantic(
+            run_figure,
+            args=(figure_name,),
+            kwargs={"scale": figure_scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        text = render(result)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{figure_name}.txt").write_text(text + "\n")
+        return result
+
+    return _run
+
+
+@pytest.fixture
+def record_table(benchmark):
+    """For ablation benches: time a builder returning a FigureResult,
+    print and archive it like the figure benches do."""
+
+    def _run(builder, name: str) -> FigureResult:
+        result = benchmark.pedantic(builder, rounds=1, iterations=1)
+        text = render(result)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return result
+
+    return _run

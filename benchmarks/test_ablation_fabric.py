@@ -1,0 +1,82 @@
+"""Ablation — the fabric assumptions behind "why pHost works" (§2.3).
+
+The paper's argument rests on two fabric properties: *full bisection
+bandwidth* and *per-packet spraying*.  This bench removes each:
+
+* oversubscribing the core (2:1, 4:1) re-creates core congestion that
+  no end-host scheduler can see;
+* replacing spraying with per-flow ECMP lets elephant collisions build
+  core hotspots.
+
+Expected: slowdown grows with oversubscription for every protocol, and
+spraying beats ECMP on the long-flow-heavy mix.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.defaults import SCALES, make_spec
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_experiment
+from repro.net.routing import ECMP, SPRAY
+
+
+def _build_oversub(scale: str, seed: int = 42) -> FigureResult:
+    preset = SCALES[scale]
+    result = FigureResult(
+        figure="ablation_oversubscription",
+        title="Core oversubscription vs slowdown (IMC10, 0.6 load)",
+        columns=["oversubscription", "phost", "pfabric"],
+    )
+    for factor in (1.0, 2.0, 4.0):
+        topo = replace(preset.topology, oversubscription=factor)
+        row = {"oversubscription": factor}
+        for protocol in ("phost", "pfabric"):
+            spec = make_spec(protocol, "imc10", scale, seed=seed, topology=topo)
+            row[protocol] = run_experiment(spec).mean_slowdown()
+        result.add_row(**row)
+    result.notes.append(
+        "the paper assumes full bisection (factor 1); end-host scheduling "
+        "cannot compensate for a congested core"
+    )
+    return result
+
+
+def _build_lb(scale: str, seed: int = 42) -> FigureResult:
+    preset = SCALES[scale]
+    result = FigureResult(
+        figure="ablation_load_balancing",
+        title="Packet spraying vs per-flow ECMP (bimodal 50% short, 0.6 load)",
+        columns=["mode", "phost", "pfabric"],
+    )
+    for mode in (SPRAY, ECMP):
+        topo = replace(preset.topology, load_balancing=mode)
+        row = {"mode": mode}
+        for protocol in ("phost", "pfabric"):
+            spec = make_spec(
+                protocol, "bimodal", scale, seed=seed, topology=topo,
+                bimodal_fraction_short=0.5,
+            )
+            row[protocol] = run_experiment(spec).mean_slowdown()
+        result.add_row(**row)
+    result.notes.append("per-packet spraying is what keeps the core empty (§2.3)")
+    return result
+
+
+def test_ablation_oversubscription(record_table, figure_scale):
+    result = record_table(
+        lambda: _build_oversub(figure_scale), "ablation_oversubscription"
+    )
+    for protocol in ("phost", "pfabric"):
+        series = [row[protocol] for row in result.rows]
+        assert series[-1] > series[0]  # 4:1 oversubscription hurts
+
+
+def test_ablation_load_balancing(record_table, figure_scale):
+    result = record_table(lambda: _build_lb(figure_scale), "ablation_load_balancing")
+    spray = result.row_where(mode=SPRAY)
+    ecmp = result.row_where(mode=ECMP)
+    for protocol in ("phost", "pfabric"):
+        # ECMP is never better than spraying here (collisions), and the
+        # fabric stays functional under both
+        assert ecmp[protocol] >= 0.95 * spray[protocol]
+        assert spray[protocol] >= 1.0

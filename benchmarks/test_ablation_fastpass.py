@@ -1,0 +1,51 @@
+"""Ablation — decomposing Fastpass's short-flow penalty.
+
+The paper (§4.2, §5) attributes Fastpass's 4x short-flow slowdown to
+two overheads: the 8-packet epoch wait and the control-plane round
+trip.  This bench separates them:
+
+* ``fastpass``            — 8-slot epochs + control latency (paper model)
+* ``fastpass epoch=1``    — per-slot scheduling, control latency kept
+* ``ideal``               — per-slot scheduling, zero control latency
+
+and adds pHost, which starts short flows instantly via free tokens.
+Expected ordering on a short-flow-dominated workload:
+fastpass > epoch=1 > ideal >= ~pHost.
+"""
+
+from repro.experiments.defaults import SCALES, make_spec
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_experiment
+from repro.protocols.fastpass.config import FastpassConfig
+
+
+def _build(scale: str, seed: int = 42) -> FigureResult:
+    variants = [
+        ("fastpass (paper)", "fastpass", None),
+        ("fastpass epoch=1", "fastpass", FastpassConfig(epoch_pkts=1)),
+        ("ideal (epoch=1, ctrl=0)", "ideal", None),
+        ("phost", "phost", None),
+    ]
+    result = FigureResult(
+        figure="ablation_fastpass",
+        title="Decomposing the Fastpass short-flow penalty (IMC10, 0.6 load)",
+        columns=["variant", "mean_slowdown"],
+    )
+    for label, protocol, cfg in variants:
+        spec = make_spec(protocol, "imc10", scale, seed=seed, protocol_config=cfg)
+        result.add_row(variant=label, mean_slowdown=run_experiment(spec).mean_slowdown())
+    result.notes.append(
+        "gap(paper->epoch=1) = epoch-granularity cost; "
+        "gap(epoch=1->ideal) = signaling round-trip cost"
+    )
+    return result
+
+
+def test_ablation_fastpass(record_table, figure_scale):
+    result = record_table(lambda: _build(figure_scale), "ablation_fastpass")
+    rows = {r["variant"]: r["mean_slowdown"] for r in result.rows}
+    assert rows["fastpass (paper)"] > rows["fastpass epoch=1"]
+    assert rows["fastpass epoch=1"] >= rows["ideal (epoch=1, ctrl=0)"] * 0.95
+    assert rows["fastpass (paper)"] > 1.5 * rows["ideal (epoch=1, ctrl=0)"]
+    # pHost needs no central scheduler to play in the ideal's league
+    assert rows["phost"] <= 1.3 * rows["ideal (epoch=1, ctrl=0)"]

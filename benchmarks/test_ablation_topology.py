@@ -1,0 +1,52 @@
+"""Ablation — topology robustness (§2.1's full-bisection grounding).
+
+The paper evaluates on a two-tier multi-rooted tree but grounds its
+assumptions in "topologies such as Fat-Tree [3] or VL2 [11]".  This
+bench repeats the headline comparison on a three-tier k-ary fat-tree
+(two levels of packet spraying, six-hop cross-pod paths) and asserts
+the conclusions transfer: pHost stays in pFabric's regime and Fastpass
+keeps its short-flow penalty.
+"""
+
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.net.fattree import FatTreeConfig
+from repro.net.topology import TopologyConfig
+
+
+def _build(scale: str, seed: int = 42) -> FigureResult:
+    if scale == "tiny":
+        two_tier = TopologyConfig.small()
+        fat_tree = FatTreeConfig(k=4)        # 16 hosts
+        n_flows, trunc = 150, 150_000
+    else:
+        two_tier = TopologyConfig.paper()
+        fat_tree = FatTreeConfig(k=8)        # 128 hosts, 16 cores
+        n_flows, trunc = 400, 500_000
+    result = FigureResult(
+        figure="ablation_topology",
+        title="Two-tier tree vs three-tier fat-tree (IMC10, 0.6 load)",
+        columns=["topology", "phost", "pfabric", "fastpass"],
+    )
+    for label, topo in (("two-tier (paper)", two_tier), ("fat-tree k-ary", fat_tree)):
+        row = {"topology": label}
+        for protocol in ("phost", "pfabric", "fastpass"):
+            spec = ExperimentSpec(
+                protocol=protocol, workload="imc10", load=0.6,
+                n_flows=n_flows, topology=topo, max_flow_bytes=trunc, seed=seed,
+            )
+            row[protocol] = run_experiment(spec).mean_slowdown()
+        result.add_row(**row)
+    result.notes.append(
+        "conclusions must transfer to any full-bisection fabric with "
+        "per-packet load balancing (paper §2.1/§2.3)"
+    )
+    return result
+
+
+def test_ablation_topology(record_table, figure_scale):
+    result = record_table(lambda: _build(figure_scale), "ablation_topology")
+    for row in result.rows:
+        assert row["phost"] <= 1.6 * row["pfabric"]
+        assert row["fastpass"] > 1.5 * row["phost"]

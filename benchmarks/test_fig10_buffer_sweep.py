@@ -1,0 +1,16 @@
+"""Figure 10 — sensitivity to per-port switch buffers (Data Mining).
+
+Paper: none of the three protocols is sensitive to buffer size, even
+with tiny 6 kB buffers.
+"""
+
+
+def test_fig10(regen):
+    result = regen("fig10")
+    for protocol in ("phost", "pfabric", "fastpass"):
+        series = [row[protocol] for row in result.rows]
+        # no collapse anywhere in the sweep, even at 6 kB
+        assert max(series) <= 2.5 * min(series), protocol
+        # and flat across the commodity range (>= 18 kB)
+        main = [row[protocol] for row in result.rows if row["buffer_bytes"] >= 18_000]
+        assert max(main) <= 1.6 * min(main), protocol

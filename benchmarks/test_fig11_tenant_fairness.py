@@ -1,0 +1,19 @@
+"""Figure 11 — multi-tenant throughput shares.
+
+One tenant runs IMC10 (short flows), the other Web Search (long
+flows); both inject equal byte budgets at t=0.  Paper: pFabric's
+in-fabric SRPT favours the short-flow tenant, while pHost with its
+tenant-fair token policy splits throughput roughly evenly.
+"""
+
+
+def test_fig11(regen):
+    result = regen("fig11")
+    phost = result.row_where(protocol="phost")
+    pfabric = result.row_where(protocol="pfabric")
+    # pHost: near-even split
+    assert abs(phost["imc10_share"] - 0.5) < 0.1
+    # pFabric: visibly biased toward the short-flow tenant, and more
+    # biased than pHost
+    assert pfabric["imc10_share"] > 0.53
+    assert pfabric["imc10_share"] > phost["imc10_share"]

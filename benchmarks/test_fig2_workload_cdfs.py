@@ -1,0 +1,18 @@
+"""Figure 2 — flow-size CDFs of the three workloads.
+
+Regenerates the distribution table behind the paper's Figure 2 and
+checks the structural claims the evaluation relies on: every workload
+is short-flow dominated, Data Mining/IMC10 are far heavier in tiny
+flows than Web Search, and IMC10's tail stops at 3 MB.
+"""
+
+
+def test_fig2(regen):
+    result = regen("fig2")
+    row_1kb = result.row_where(size_bytes=1000)
+    assert row_1kb["datamining"] >= 0.5
+    assert row_1kb["imc10"] >= 0.5
+    assert row_1kb["websearch"] < 0.1
+    row_3mb = result.row_where(size_bytes=10_000_000)
+    assert row_3mb["imc10"] == 1.0          # tail capped at 3 MB
+    assert row_3mb["datamining"] < 1.0      # tail continues to 1 GB

@@ -1,0 +1,20 @@
+"""Figure 3 — mean slowdown of pHost, pFabric and Fastpass across the
+three workloads (load 0.6, 36 kB buffers, all-to-all).
+
+The paper's headline: pHost performs comparable to pFabric and 1.3-4x
+better than Fastpass.  The assertions check the *shape* (ordering and
+rough factors), not absolute values — our substrate is a scaled-down
+simulator (see DESIGN.md §2).
+"""
+
+
+def test_fig3(regen):
+    result = regen("fig3")
+    for row in result.rows:
+        assert row["phost"] >= 1.0 and row["pfabric"] >= 1.0
+        # pHost in pFabric's ballpark, never in Fastpass's regime
+        assert row["phost"] <= 1.6 * row["pfabric"]
+    # short-flow-heavy workloads expose Fastpass's epoch+RTT penalty
+    for workload in ("datamining", "imc10"):
+        row = result.row_where(workload=workload)
+        assert row["fastpass"] > 2.0 * row["phost"]

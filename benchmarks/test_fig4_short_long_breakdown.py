@@ -1,0 +1,20 @@
+"""Figure 4 — mean slowdown split into short and long flows.
+
+Paper: all three protocols are comparable on long flows; on short flows
+pHost matches pFabric while Fastpass is 1.3-4x worse.  (Long flows are
+>10 MB for Web Search/Data Mining and >100 kB for IMC10.)
+"""
+
+import math
+
+
+def test_fig4(regen):
+    result = regen("fig4")
+    for workload in ("datamining", "imc10"):
+        short = result.row_where(workload=workload, **{"class": "short"})
+        assert short["fastpass"] > 1.5 * short["phost"]
+        long_ = result.row_where(workload=workload, **{"class": "long"})
+        vals = [long_[p] for p in ("phost", "pfabric", "fastpass")
+                if long_[p] == long_[p]]  # drop NaN (no long flows sampled)
+        if len(vals) >= 2:
+            assert max(vals) <= 3.0 * min(vals)  # "similar performance"

@@ -1,0 +1,14 @@
+"""Figure 5(b) — per-host goodput.
+
+Throughput is dominated by long flows, so the three protocols are
+similar, and (because slowdown > 1) goodput stays below
+load x access rate = 6 Gbps.
+"""
+
+
+def test_fig5b(regen):
+    result = regen("fig5b")
+    for row in result.rows:
+        vals = [row[p] for p in ("phost", "pfabric", "fastpass")]
+        assert all(0 < v < 6.5 for v in vals)
+        assert max(vals) <= 3.0 * min(vals)

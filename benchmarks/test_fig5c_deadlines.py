@@ -1,0 +1,15 @@
+"""Figure 5(c) — fraction of flows meeting deadlines.
+
+Deadlines are exponential (mean 1000 us) floored at 1.25x the ideal
+FCT; pHost switches its grant/spend policies to EDF.  Paper: all three
+protocols land within ~2% of each other; we assert every protocol meets
+a solid majority and no protocol craters.
+"""
+
+
+def test_fig5c(regen):
+    result = regen("fig5c")
+    for row in result.rows:
+        for protocol in ("phost", "pfabric", "fastpass"):
+            assert row[protocol] >= 0.5, (row["workload"], protocol)
+        assert row["phost"] >= row["fastpass"] - 0.25

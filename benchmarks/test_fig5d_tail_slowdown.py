@@ -1,0 +1,14 @@
+"""Figure 5(d) — 99th-percentile slowdown of short flows.
+
+Paper: pHost and pFabric keep tails near their means (~1.3x), Fastpass
+roughly doubles.  We assert the ordering on the short-flow-heavy
+workloads.
+"""
+
+
+def test_fig5d(regen):
+    result = regen("fig5d")
+    for workload in ("datamining", "imc10"):
+        row = result.row_where(workload=workload)
+        assert row["fastpass"] > row["phost"]
+        assert row["phost"] >= 1.0

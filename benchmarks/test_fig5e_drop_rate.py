@@ -1,0 +1,17 @@
+"""Figure 5(e) — packet drop rate vs load (Web Search).
+
+Paper: pFabric's drop rate is substantial and grows with load; pHost
+and Fastpass, which explicitly schedule packets, stay near zero.
+"""
+
+
+def test_fig5e(regen):
+    result = regen("fig5e")
+    hi = result.row_where(load=0.8)
+    lo = result.row_where(load=0.5)
+    assert hi["pfabric"] > lo["pfabric"]          # grows with load
+    assert hi["pfabric"] > hi["phost"]            # scheduled >> aggressive
+    assert hi["pfabric"] > hi["fastpass"]
+    for row in result.rows:
+        assert row["phost"] < 0.05
+        assert row["fastpass"] < 0.01

@@ -1,0 +1,20 @@
+"""Figure 5(f) — where packets are dropped (Web Search, load 0.6).
+
+Paper: pFabric concentrates drops at the first (NIC) and last (ToR
+down) hops; pHost and Fastpass eliminate first-hop drops entirely, and
+drops *inside* the fabric are negligible for everyone — packet spraying
+plus full bisection bandwidth keeps the core clean.
+"""
+
+
+def test_fig5f(regen):
+    result = regen("fig5f")
+    pfabric = result.row_where(protocol="pfabric")
+    assert pfabric["hop1"] + pfabric["hop4"] > 10 * (pfabric["hop2"] + pfabric["hop3"])
+    phost = result.row_where(protocol="phost")
+    fastpass = result.row_where(protocol="fastpass")
+    assert phost["hop1"] == 0          # receiver-driven: no NIC overflow
+    assert fastpass["hop1"] == 0       # arbiter-scheduled: no NIC overflow
+    for row in result.rows:
+        fabric_drops = row["hop2"] + row["hop3"]
+        assert fabric_drops <= max(5, row["injected"] // 10_000)

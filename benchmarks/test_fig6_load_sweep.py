@@ -1,0 +1,18 @@
+"""Figure 6 — mean slowdown vs network load, per workload.
+
+Paper: the protocol ordering is consistent across loads and absolute
+slowdown grows with load (0.8 is beyond the stable regime).
+"""
+
+
+def test_fig6(regen):
+    result = regen("fig6")
+    for workload in ("datamining", "imc10"):
+        lo = result.row_where(workload=workload, load=0.5)
+        hi = result.row_where(workload=workload, load=0.8)
+        for protocol in ("phost", "pfabric", "fastpass"):
+            assert hi[protocol] >= 0.9 * lo[protocol]  # grows (mod noise)
+        # ordering consistent: Fastpass stays the outlier at every load
+        for load in (0.5, 0.6, 0.7, 0.8):
+            row = result.row_where(workload=workload, load=load)
+            assert row["fastpass"] > row["phost"]

@@ -1,0 +1,20 @@
+"""Figure 8 — synthetic bimodal workload (3-pkt vs 700-pkt flows),
+sweeping the short-flow fraction.
+
+Paper: pHost tracks pFabric across the sweep; Fastpass matches them
+when long flows dominate but degrades sharply as short flows take over.
+"""
+
+
+def test_fig8(regen):
+    result = regen("fig8")
+    all_long = result.row_where(pct_short=0.0)
+    mostly_short = result.row_where(pct_short=99.5)
+    # with only long flows everyone is close
+    vals = [all_long[p] for p in ("phost", "pfabric", "fastpass")]
+    assert max(vals) <= 2.0 * min(vals)
+    # Fastpass's penalty appears as short flows dominate
+    assert mostly_short["fastpass"] > 1.5 * mostly_short["phost"]
+    # pHost stays in pFabric's regime everywhere
+    for row in result.rows:
+        assert row["phost"] <= 2.0 * row["pfabric"] + 0.5

@@ -1,0 +1,17 @@
+"""Figure 9(a) — permutation traffic matrix, trace workloads.
+
+Paper: with one destination per source there is almost no contention in
+the core or at receivers, and pHost outperforms both baselines.
+"""
+
+
+def test_fig9a(regen):
+    result = regen("fig9a")
+    for row in result.rows:
+        assert row["phost"] >= 1.0
+        # under permutation pHost at least matches pFabric's regime and
+        # clearly beats Fastpass on short-flow workloads
+        assert row["phost"] <= 1.5 * row["pfabric"] + 0.2
+    for workload in ("datamining", "imc10"):
+        row = result.row_where(workload=workload)
+        assert row["fastpass"] > row["phost"]

@@ -1,0 +1,14 @@
+"""Figure 9(b) — permutation traffic matrix, bimodal sweep.
+
+Same sweep as Figure 8 but with the permutation matrix: contention is
+minimal, so pHost stays near-optimal throughout while Fastpass's
+epoch+RTT overhead still penalizes short-flow mixes.
+"""
+
+
+def test_fig9b(regen):
+    result = regen("fig9b")
+    mostly_short = result.row_where(pct_short=99.5)
+    assert mostly_short["fastpass"] > 1.3 * mostly_short["phost"]
+    for row in result.rows:
+        assert row["phost"] >= 1.0

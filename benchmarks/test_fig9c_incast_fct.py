@@ -1,0 +1,14 @@
+"""Figure 9(c) — incast: average FCT vs number of senders.
+
+Each request splits a fixed payload over N senders into one receiver.
+Paper: the three protocols land within ~7% of each other; we assert
+they form one cluster at every N.
+"""
+
+
+def test_fig9c(regen):
+    result = regen("fig9c")
+    for row in result.rows:
+        vals = [row[p] for p in ("phost", "pfabric", "fastpass")]
+        assert all(v > 0 for v in vals)
+        assert max(vals) <= 1.6 * min(vals)

@@ -1,0 +1,17 @@
+"""Figure 9(d) — incast: average request completion time vs senders.
+
+Paper: <4% spread across protocols and RCT nearly flat in N — the
+receiver access link carries the same bytes regardless of fan-in.
+"""
+
+
+def test_fig9d(regen):
+    result = regen("fig9d")
+    cols = ("phost", "pfabric", "fastpass")
+    for row in result.rows:
+        vals = [row[p] for p in cols]
+        assert max(vals) <= 1.5 * min(vals)
+    # flat in N: max over the sweep within 50% of min, per protocol
+    for p in cols:
+        series = [row[p] for row in result.rows]
+        assert max(series) <= 1.5 * min(series)

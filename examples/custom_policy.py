@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Plugging a custom scheduling objective into pHost.
+
+The paper's central flexibility claim (§2.2, §3.3): because scheduling
+lives at the end hosts, a new policy is just code — no fabric change.
+This example registers a "smallest-flow-first" policy (rank by *total*
+flow size rather than remaining packets, i.e. SJF instead of SRPT) and
+runs it side by side with the built-ins.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import ExperimentSpec, PHostConfig, TopologyConfig, run_experiment
+from repro.core.policies import SchedulingPolicy, register_policy
+
+
+class SJFPolicy(SchedulingPolicy):
+    """Shortest Job First: rank candidates by total flow size.
+
+    Unlike SRPT, a flow's rank never improves as it progresses, so long
+    flows cannot climb the ladder by nearing completion.
+    """
+
+    name = "sjf"
+
+    def key(self, state, ctx=None):
+        return (state.flow.size_bytes, state.flow.arrival, state.flow.fid)
+
+
+def run(policy: str) -> float:
+    spec = ExperimentSpec(
+        protocol="phost",
+        workload="imc10",
+        load=0.65,
+        n_flows=300,
+        topology=TopologyConfig.small(),
+        max_flow_bytes=200_000,
+        protocol_config=PHostConfig(grant_policy=policy, spend_policy=policy),
+        seed=5,
+    )
+    return run_experiment(spec).mean_slowdown()
+
+
+def main() -> None:
+    register_policy(SJFPolicy)
+    print("pHost mean slowdown by token scheduling policy\n")
+    for policy in ("srpt", "sjf", "fifo"):
+        print(f"  {policy:6s} -> {run(policy):.3f}")
+    print(
+        "\nSJF was registered at runtime with register_policy(SJFPolicy);\n"
+        "the fabric and the protocol machinery are untouched."
+    )
+
+
+if __name__ == "__main__":
+    main()

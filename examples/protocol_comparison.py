@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment, in miniature (Figures 3 and 4).
+
+Runs pHost against pFabric and Fastpass on each workload and prints the
+mean slowdown overall and split into short/long flows.  Expect the
+paper's shape: pHost tracks pFabric closely, while Fastpass pays an
+epoch + RTT penalty on every short flow.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import ExperimentSpec, TopologyConfig, run_experiment
+from repro.workloads.distributions import LONG_FLOW_THRESHOLD
+
+PROTOCOLS = ("phost", "pfabric", "fastpass")
+WORKLOADS = ("websearch", "datamining", "imc10")
+
+
+def main() -> None:
+    print(f"{'workload':12s} {'protocol':10s} {'slowdown':>9s} "
+          f"{'short':>7s} {'long':>7s} {'drops':>6s}")
+    for workload in WORKLOADS:
+        threshold = min(LONG_FLOW_THRESHOLD[workload], 100_000)
+        for protocol in PROTOCOLS:
+            spec = ExperimentSpec(
+                protocol=protocol,
+                workload=workload,
+                load=0.6,
+                n_flows=250,
+                topology=TopologyConfig.small(),
+                max_flow_bytes=300_000,   # keep the example fast
+                seed=7,
+            )
+            result = run_experiment(spec)
+            short, long_ = result.short_long_slowdown(threshold)
+            print(
+                f"{workload:12s} {protocol:10s} "
+                f"{result.mean_slowdown():9.3f} {short:7.2f} {long_:7.2f} "
+                f"{result.drops.total_drops:6d}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

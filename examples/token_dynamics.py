@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The Figure 1 micro-scenario: token wastage and source downgrading.
+
+One sender starts two flows at once, to two different receivers.  Both
+receivers grant tokens at full rate, but the sender's access link can
+only serve one of them — so roughly half of all granted tokens expire
+unused and the receivers periodically downgrade the flow (paper §3.2).
+This script traces grants, expirations and downgrades so the mechanism
+is visible.
+
+Run:  python examples/token_dynamics.py
+"""
+
+from repro.experiments.runner import build_simulation
+from repro.experiments.spec import ExperimentSpec
+from repro.net.packet import Flow
+from repro.net.topology import TopologyConfig
+
+
+def main() -> None:
+    spec = ExperimentSpec(
+        protocol="phost",
+        workload="fixed:1460",  # unused; flows built below
+        n_flows=1,
+        topology=TopologyConfig.small(),
+        seed=1,
+    )
+    env, fabric, collector, cfg = build_simulation(spec)
+
+    sender = 0
+    dst_a, dst_b = 4, 8  # two different racks
+    n_pkts = 200
+    flow_a = Flow(1, sender, dst_a, n_pkts * 1460, 0.0)
+    flow_b = Flow(2, sender, dst_b, n_pkts * 1460, 0.0)
+
+    collector.expected_flows = 2
+    for flow in (flow_a, flow_b):
+        env.schedule_at(0.0, fabric.hosts[sender].agent.start_flow, flow)
+
+    def stop_when_done(flow, now):
+        if collector.all_complete:
+            env.stop()
+
+    collector.on_complete = stop_when_done
+    env.run(until=0.1)
+
+    src = fabric.hosts[sender].agent.source
+    print(f"two {n_pkts}-packet flows from host {sender} "
+          f"to hosts {dst_a} and {dst_b}\n")
+    for flow, dst in ((flow_a, dst_a), (flow_b, dst_b)):
+        dest = fabric.hosts[dst].agent.destination
+        fct = (flow.finish - flow.arrival) * 1e6
+        opt = fabric.opt_fct(flow.size_bytes, sender, dst) * 1e6
+        print(f"flow {flow.fid}: FCT {fct:8.1f} us (lone-flow OPT {opt:.1f} us, "
+              f"slowdown {fct / opt:.2f})")
+        print(f"  tokens granted by receiver : {dest.tokens_granted}")
+    print(f"\ntokens expired unused at the sender : {src.tokens_expired}")
+    print(
+        "\nBoth receivers offer tokens at line rate but the sender can\n"
+        "only use half of them; expiry (1.5 MTU-times) plus downgrading\n"
+        "keeps the receivers from wasting their own downlinks (paper §3.2).\n"
+        "The two flows finish in ~2x the lone-flow time - the sender's\n"
+        "access link is shared, as it must be."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Append the ablation tables (benchmarks/results/ablation_*.txt) to
+EXPERIMENTS.md as an appendix.  Run after a bench-scale
+``pytest benchmarks/ --benchmark-only`` so the archived tables are at
+bench scale.  Idempotent: replaces any existing appendix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+RESULTS = ROOT / "benchmarks" / "results"
+
+MARKER = "\n## Appendix: ablations beyond the paper\n"
+
+INTRO = """
+These experiments are not in the paper; they probe the design choices
+the paper asserts (DESIGN.md lists them).  Regenerate with
+`pytest benchmarks/test_ablation_*.py --benchmark-only`.
+"""
+
+ORDER = [
+    "ablation_fastpass",
+    "ablation_phost_knobs",
+    "ablation_oversubscription",
+    "ablation_load_balancing",
+    "ablation_topology",
+    "ablation_token_rate",
+]
+
+
+def main() -> None:
+    text = EXPERIMENTS.read_text()
+    if MARKER in text:
+        text = text.split(MARKER)[0]
+    blocks = []
+    for name in ORDER:
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            print(f"warning: {path} missing; skipped")
+            continue
+        blocks.append(f"```\n{path.read_text().rstrip()}\n```\n")
+    EXPERIMENTS.write_text(text.rstrip() + "\n" + MARKER + INTRO + "\n" + "\n".join(blocks))
+    print(f"appended {len(blocks)} ablation tables to {EXPERIMENTS}")
+
+
+if __name__ == "__main__":
+    main()

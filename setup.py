@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (this environment lacks the
+``wheel`` package, so PEP-660 editable builds are unavailable).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""The per-host pHost agent: source + destination halves glued to a NIC.
+
+Control packets (RTS / TOKEN / ACK) are *pushed* into the NIC's
+highest-priority band; data packets are *pulled* by the NIC one at a
+time, so the host re-decides what to send at every packet boundary —
+the essence of pHost's end-host scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PHostConfig
+from repro.core.destination import PHostDestination
+from repro.core.policies import make_policy
+from repro.core.source import PHostSource
+from repro.net.packet import Flow, Packet, PacketType
+from repro.protocols.base import ProtocolSpec, TransportAgent, priority_queue_factory
+
+__all__ = ["PHostAgent", "PHOST_SPEC"]
+
+#: Priority bands: 0 = control, 1 = short-flow data, 2 = long-flow data.
+CONTROL_PRIO = 0
+SHORT_PRIO = 1
+LONG_PRIO = 2
+
+
+class PHostAgent(TransportAgent):
+    """pHost endpoint for one host."""
+
+    def __init__(self, host, env, fabric, collector, config: PHostConfig, shared=None) -> None:
+        super().__init__(host, env, fabric, collector, config, shared)
+        self.source = PHostSource(self, config, make_policy(config.spend_policy))
+        self.destination = PHostDestination(self, config, make_policy(config.grant_policy))
+
+    # ------------------------------------------------------------------
+    # TransportAgent interface
+    # ------------------------------------------------------------------
+    def start_flow(self, flow: Flow) -> None:
+        self.collector.flow_arrived(flow, self.env.now)
+        self.source.start_flow(flow)
+
+    def on_packet(self, pkt: Packet) -> None:
+        ptype = pkt.ptype
+        if ptype == PacketType.DATA:
+            self.destination.on_data(pkt)
+        elif ptype == PacketType.TOKEN:
+            self.source.on_token(pkt)
+        elif ptype == PacketType.RTS:
+            self.destination.on_rts(pkt)
+        elif ptype == PacketType.ACK:
+            self.source.on_ack(pkt)
+        else:
+            raise ValueError(f"pHost host received unexpected packet type: {pkt!r}")
+
+    def nic_pull(self):
+        """NIC idle hook: per-packet send decision (Algorithm 1)."""
+        return self.source.next_data_packet()
+
+    # ------------------------------------------------------------------
+    # Helpers shared by both halves
+    # ------------------------------------------------------------------
+    def send_control(self, pkt: Packet) -> None:
+        pkt.priority = CONTROL_PRIO
+        self.collector.control_sent(pkt)
+        self.host.send(pkt)
+
+    def kick_nic(self) -> None:
+        self.host.port.kick()
+
+    def data_priority(self, flow: Flow) -> int:
+        """Priority band for a flow's data packets (paper §2.2/§3.3:
+        one of pHost's degrees of freedom).
+
+        ``uniform_data_priority`` (the Fig. 11 configuration) overrides
+        the policy; otherwise "size" gives short flows the better band,
+        "deadline" gives it to urgent flows, "uniform" flattens bands.
+        """
+        if self.config.uniform_data_priority:
+            return SHORT_PRIO
+        policy = self.config.priority_policy
+        if policy == "uniform":
+            return SHORT_PRIO
+        if policy == "deadline":
+            deadline = flow.deadline
+            if deadline is None:
+                return LONG_PRIO
+            urgent = deadline - self.env.now <= self.config.retx_timeout * 4
+            return SHORT_PRIO if urgent else LONG_PRIO
+        if flow.n_pkts <= self.config.short_threshold_pkts:
+            return SHORT_PRIO
+        return LONG_PRIO
+
+
+def _phost_config_factory(fabric) -> PHostConfig:
+    return PHostConfig.paper_default().resolve(fabric.config)
+
+
+def _phost_agent_factory(host, env, fabric, collector, config, shared) -> PHostAgent:
+    return PHostAgent(host, env, fabric, collector, config, shared)
+
+
+PHOST_SPEC = ProtocolSpec(
+    name="phost",
+    agent_factory=_phost_agent_factory,
+    config_factory=_phost_config_factory,
+    switch_queue_factory=priority_queue_factory,
+    host_queue_factory=priority_queue_factory,
+)

@@ -1,0 +1,318 @@
+"""pHost destination (paper Algorithm 2).
+
+The destination keeps a *PendingRTS* list and, once per MTU
+transmission time, grants a token to the flow its grant policy picks.
+Three mechanisms from §3.2/§3.4 are implemented here:
+
+* **source downgrading** — a flow with a BDP's worth of unresponded
+  tokens is marked ineligible for ``downgrade_time``; when the downgrade
+  lapses the destination re-queues tokens for the packets still missing;
+* **token re-issue on timeout** — a flow that has stopped making
+  progress for ``retx_timeout`` gets tokens re-issued for missing
+  packets (this is also the loss-recovery path, since tokens name
+  specific packet ids);
+* **implicit RTS** — state is created from the first data packet too,
+  so a lost RTS costs latency, not correctness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set
+
+from repro.core.config import PHostConfig
+from repro.core.policies import SchedulingPolicy, TenantCounters
+from repro.net.packet import Flow, Packet, PacketType, control_packet
+from repro.sim.engine import EventLoop
+
+__all__ = ["PHostDestination", "DestFlowState"]
+
+
+class DestFlowState:
+    """Destination-side per-flow protocol state."""
+
+    __slots__ = (
+        "flow",
+        "received",
+        "next_new",
+        "regrant",
+        "regrant_set",
+        "granted",
+        "grant_time",
+        "free_seqs",
+        "outstanding",
+        "downgrade_until",
+        "downgrades",
+        "complete",
+        "last_progress",
+        "reissue_armed",
+    )
+
+    def __init__(self, flow: Flow, free_tokens: int, now: float) -> None:
+        self.flow = flow
+        self.received: Set[int] = set()
+        # Free tokens are implicit grants for the first packets.
+        self.next_new = min(free_tokens, flow.n_pkts)
+        self.regrant: Deque[int] = deque()
+        self.regrant_set: Set[int] = set()
+        self.granted: Set[int] = set(range(self.next_new))
+        #: When each explicit token went out (regrant-expiry filtering).
+        self.grant_time: Dict[int, float] = {}
+        #: Seqs covered by the free budget (no expiry at the source).
+        self.free_seqs: Set[int] = set(range(self.next_new))
+        self.outstanding = 0
+        self.downgrade_until = 0.0
+        self.downgrades = 0
+        self.complete = False
+        self.last_progress = now
+        self.reissue_armed = False
+
+    # ------------------------------------------------------------------
+    def eligible(self, now: float) -> bool:
+        """May this flow be granted a token right now?"""
+        if self.complete or now < self.downgrade_until:
+            return False
+        return bool(self.regrant) or self.next_new < self.flow.n_pkts
+
+    def remaining_hint(self) -> int:
+        """Packets still missing (the SRPT grant key)."""
+        return self.flow.n_pkts - len(self.received)
+
+    def missing(self) -> Set[int]:
+        """Granted (incl. free) packets not received and not re-queued."""
+        return self.granted - self.received - self.regrant_set
+
+    def expired_missing(self, now: float, expiry_margin: float) -> Set[int]:
+        """Missing packets whose token has demonstrably lapsed.
+
+        Explicit grants count once ``grant_time + expiry_margin`` has
+        passed (the token expired at the source and a data packet would
+        long since have arrived).  Free-budget seqs have no expiry — the
+        source may legitimately sit on them under SRPT backlog — so they
+        are excluded here and only reclaimed by the (much longer)
+        staleness-based reissue path.
+        """
+        out: Set[int] = set()
+        for seq in self.granted:
+            if seq in self.received or seq in self.regrant_set:
+                continue
+            granted_at = self.grant_time.get(seq)
+            if granted_at is None:
+                continue  # free-budget seq
+            if now - granted_at >= expiry_margin:
+                out.add(seq)
+        return out
+
+    def queue_regrants(self, seqs) -> int:
+        added = 0
+        for seq in sorted(seqs):
+            if seq not in self.regrant_set and seq not in self.received:
+                self.regrant.append(seq)
+                self.regrant_set.add(seq)
+                added += 1
+        return added
+
+    def next_grant_seq(self) -> Optional[int]:
+        """Pop the next packet id to grant a token for."""
+        while self.regrant:
+            seq = self.regrant.popleft()
+            self.regrant_set.discard(seq)
+            if seq not in self.received:
+                return seq
+        if self.next_new < self.flow.n_pkts:
+            seq = self.next_new
+            self.next_new += 1
+            return seq
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DestFlowState(fid={self.flow.fid}, recv={len(self.received)}/"
+            f"{self.flow.n_pkts}, outstanding={self.outstanding})"
+        )
+
+
+class PHostDestination:
+    """Destination half of a host's pHost agent."""
+
+    def __init__(self, agent, config: PHostConfig, grant_policy: SchedulingPolicy) -> None:
+        self.agent = agent
+        self.env: EventLoop = agent.env
+        self.config = config
+        self.policy = grant_policy
+        self.states: Dict[int, DestFlowState] = {}
+        self.finished: Set[int] = set()
+        self.tenant_received = TenantCounters()
+        self.tokens_granted = 0
+        self.duplicate_data = 0
+        self._timer: Optional[list] = None
+        self._next_grant_time = 0.0
+
+    # ------------------------------------------------------------------
+    # RTS handling
+    # ------------------------------------------------------------------
+    def on_rts(self, pkt: Packet) -> None:
+        flow = pkt.flow
+        if flow.fid in self.finished:
+            self._send_ack(flow)  # ACK was lost; repeat it
+            return
+        state = self.states.get(flow.fid)
+        if state is None:
+            state = self._create_state(flow)
+        else:
+            # Duplicate RTS: the source believes it is stuck.  Re-queue
+            # whatever is missing (cheap no-op when nothing is).
+            if self._stale(state):
+                state.queue_regrants(state.missing())
+        self._maybe_start_timer()
+
+    def _create_state(self, flow: Flow) -> DestFlowState:
+        state = DestFlowState(flow, self.config.free_tokens, self.env.now)
+        self.states[flow.fid] = state
+        self._arm_reissue(state)
+        return state
+
+    # ------------------------------------------------------------------
+    # Data handling
+    # ------------------------------------------------------------------
+    def on_data(self, pkt: Packet) -> None:
+        flow = pkt.flow
+        if flow.fid in self.finished:
+            return
+        state = self.states.get(flow.fid)
+        if state is None:
+            state = self._create_state(flow)  # implicit RTS
+        seq = pkt.seq
+        if seq in state.received:
+            self.duplicate_data += 1
+            return
+        state.received.add(seq)
+        state.regrant_set.discard(seq)
+        state.grant_time.pop(seq, None)
+        if state.outstanding > 0:
+            state.outstanding -= 1
+        state.last_progress = self.env.now
+        self.tenant_received.add(flow.tenant)
+        self.agent.collector.data_delivered(pkt)
+        if len(state.received) >= flow.n_pkts:
+            self._complete(state)
+        else:
+            self._maybe_start_timer()
+
+    def _complete(self, state: DestFlowState) -> None:
+        state.complete = True
+        self.states.pop(state.flow.fid, None)
+        self.finished.add(state.flow.fid)
+        self.agent.collector.flow_completed(state.flow, self.env.now)
+        self._send_ack(state.flow)
+
+    def _send_ack(self, flow: Flow) -> None:
+        ack = control_packet(
+            PacketType.ACK, flow, flow.n_pkts, self.agent.host.node_id, flow.src, self.env.now
+        )
+        self.agent.send_control(ack)
+
+    # ------------------------------------------------------------------
+    # Token pacing (Algorithm 2, "idle": pick a flow, send a token)
+    # ------------------------------------------------------------------
+    def _maybe_start_timer(self) -> None:
+        if self._timer is not None and EventLoop.is_pending(self._timer):
+            return
+        now = self.env.now
+        if not any(s.eligible(now) for s in self.states.values()):
+            return
+        when = max(now, self._next_grant_time)
+        self._timer = self.env.schedule_at(when, self._grant_tick)
+
+    def _grant_tick(self) -> None:
+        self._timer = None
+        now = self.env.now
+        candidates = [s for s in self.states.values() if s.eligible(now)]
+        while candidates:
+            state = self.policy.select(candidates, self.tenant_received)
+            if (
+                state.outstanding >= self.config.downgrade_threshold
+                and now - state.last_progress >= self.config.downgrade_stale
+            ):
+                self._downgrade(state)
+                candidates.remove(state)
+                continue
+            seq = state.next_grant_seq()
+            if seq is None:
+                candidates.remove(state)
+                continue
+            self._grant(state, seq)
+            break
+        self._maybe_start_timer()
+
+    def _grant(self, state: DestFlowState, seq: int) -> None:
+        now = self.env.now
+        flow = state.flow
+        token = control_packet(
+            PacketType.TOKEN, flow, seq, self.agent.host.node_id, flow.src, now
+        )
+        token.data_prio = self.agent.data_priority(flow)
+        state.granted.add(seq)
+        state.grant_time[seq] = now
+        state.outstanding += 1
+        self.tokens_granted += 1
+        self._next_grant_time = now + self.config.token_interval
+        self.agent.send_control(token)
+        self._arm_reissue(state)
+
+    # ------------------------------------------------------------------
+    # Downgrading (§3.2) and token re-issue / loss recovery (§3.4)
+    # ------------------------------------------------------------------
+    def _downgrade(self, state: DestFlowState) -> None:
+        now = self.env.now
+        state.downgrade_until = now + self.config.downgrade_time
+        state.outstanding = 0
+        state.downgrades += 1
+        self.env.schedule(self.config.downgrade_time, self._downgrade_expired, state.flow.fid)
+
+    def _downgrade_expired(self, fid: int) -> None:
+        state = self.states.get(fid)
+        if state is None or state.complete:
+            return
+        # "After the timeout period, the destination resends tokens to
+        # the source for the packets that were not received."  Only
+        # grants that demonstrably lapsed are re-queued; free-budget
+        # packets are reclaimed by the slower reissue path.
+        state.queue_regrants(state.expired_missing(self.env.now, self.config.retx_timeout))
+        state.last_progress = self.env.now
+        self._maybe_start_timer()
+
+    def _arm_reissue(self, state: DestFlowState) -> None:
+        if state.reissue_armed or state.complete:
+            return
+        state.reissue_armed = True
+        self.env.schedule(self.config.retx_timeout, self._reissue_check, state.flow.fid)
+
+    def _reissue_check(self, fid: int) -> None:
+        state = self.states.get(fid)
+        if state is None or state.complete:
+            return
+        now = self.env.now
+        idle_for = now - state.last_progress
+        if idle_for + 1e-12 >= self.config.retx_timeout:
+            # Tier 1: re-queue explicit grants whose tokens lapsed.
+            missing = state.expired_missing(now, self.config.retx_timeout)
+            if idle_for + 1e-12 >= self.config.free_reissue:
+                # Tier 2: the flow has been silent so long that even the
+                # expiry-less free-budget packets are presumed lost.
+                missing |= state.missing()
+            if missing:
+                state.queue_regrants(missing)
+                self._maybe_start_timer()
+            wait = self.config.retx_timeout
+        else:
+            wait = self.config.retx_timeout - idle_for
+        self.env.schedule(wait, self._reissue_check, fid)
+
+    def _stale(self, state: DestFlowState) -> bool:
+        return (self.env.now - state.last_progress) >= self.config.retx_timeout
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_flow_count(self) -> int:
+        return len(self.states)

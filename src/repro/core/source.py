@@ -1,0 +1,150 @@
+"""pHost source (paper Algorithm 1).
+
+On flow arrival: send an RTS and seed the flow with free tokens.  When
+the NIC goes idle, spend a token: granted tokens first (spend policy
+picks the flow), free tokens otherwise.  Tokens expire; expired ones are
+discarded at selection time.
+
+Robustness beyond the happy path (paper §3.4 leaves these implicit):
+
+* the RTS is retransmitted on a coarse timer while no token has ever
+  arrived and the free budget is spent (lost-RTS recovery; note a lost
+  RTS is already almost harmless because the destination also creates
+  state from the first data packet);
+* after the last packet has been sent once, an ACK-check timer
+  retransmits the RTS if no ACK arrives, prompting the destination to
+  either re-ACK (ACK was lost) or re-issue tokens (data was lost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import PHostConfig
+from repro.core.policies import SchedulingPolicy, TenantCounters
+from repro.core.tokens import SourceFlowState, Token
+from repro.net.packet import Flow, Packet, PacketType, control_packet
+
+__all__ = ["PHostSource"]
+
+
+class PHostSource:
+    """Source half of a host's pHost agent."""
+
+    def __init__(self, agent, config: PHostConfig, spend_policy: SchedulingPolicy) -> None:
+        self.agent = agent
+        self.env = agent.env
+        self.config = config
+        self.policy = spend_policy
+        self.flows: Dict[int, SourceFlowState] = {}
+        self.tenant_sent = TenantCounters()
+        self.tokens_expired = 0  # observability: tokens that lapsed unused
+
+    # ------------------------------------------------------------------
+    # Flow arrival (Algorithm 1, "new flow arrives")
+    # ------------------------------------------------------------------
+    def start_flow(self, flow: Flow) -> None:
+        if flow.fid in self.flows:
+            raise ValueError(f"duplicate flow id {flow.fid}")
+        state = SourceFlowState(flow, self.config.free_tokens)
+        self.flows[flow.fid] = state
+        self._send_rts(state)
+        if not state.has_free_token():
+            # No free budget (e.g. tenant-fair config): rely on grants;
+            # arm the lost-RTS recovery timer.
+            self.env.schedule(self.config.rts_retry, self._rts_check, flow.fid)
+        self.agent.kick_nic()
+
+    def _send_rts(self, state: SourceFlowState) -> None:
+        flow = state.flow
+        state.rts_sends += 1
+        rts = control_packet(PacketType.RTS, flow, 0, flow.src, flow.dst, self.env.now)
+        self.agent.send_control(rts)
+
+    def _rts_check(self, fid: int) -> None:
+        state = self.flows.get(fid)
+        if state is None or state.done:
+            return
+        if not state.got_token and not state.has_free_token():
+            self._send_rts(state)
+            self.env.schedule(self.config.rts_retry, self._rts_check, fid)
+
+    # ------------------------------------------------------------------
+    # Token receipt (Algorithm 1, "new token T received")
+    # ------------------------------------------------------------------
+    def on_token(self, pkt: Packet) -> None:
+        state = self.flows.get(pkt.flow.fid)
+        if state is None or state.done:
+            return  # stale token for a finished flow
+        expiry = self.env.now + self.config.token_expiry
+        state.add_token(Token(pkt.seq, pkt.data_prio, expiry))
+        self.agent.kick_nic()
+
+    # ------------------------------------------------------------------
+    # ACK receipt — flow done
+    # ------------------------------------------------------------------
+    def on_ack(self, pkt: Packet) -> None:
+        state = self.flows.pop(pkt.flow.fid, None)
+        if state is not None:
+            state.done = True
+
+    # ------------------------------------------------------------------
+    # NIC pull (Algorithm 1, "idle": pick a token, send its packet)
+    # ------------------------------------------------------------------
+    def next_data_packet(self) -> Optional[Packet]:
+        now = self.env.now
+        candidates = []
+        for state in self.flows.values():
+            before = len(state.tokens)
+            state.prune_expired(now)
+            self.tokens_expired += before - len(state.tokens)
+            if state.tokens or state.has_free_token():
+                candidates.append(state)
+        if not candidates:
+            return None
+        # Algorithm 1: free tokens live in the same ActiveTokens list as
+        # granted ones; the spend policy picks across all of them.
+        state = self.policy.select(candidates, self.tenant_sent)
+        if state.tokens:
+            token = state.pop_token()
+            return self._make_data(state, token.seq, token.priority)
+        seq = state.take_free_seq()
+        return self._make_data(state, seq, self.agent.data_priority(state.flow))
+
+    def _make_data(self, state: SourceFlowState, seq: int, priority: int) -> Packet:
+        now = self.env.now
+        flow = state.flow
+        pkt = Packet(
+            PacketType.DATA,
+            flow,
+            seq,
+            flow.src,
+            flow.dst,
+            flow.wire_bytes_of(seq),
+            priority=priority,
+            born=now,
+        )
+        first_time = seq not in state.sent
+        state.sent.add(seq)
+        self.tenant_sent.add(flow.tenant)
+        if flow.start_time is None:
+            flow.start_time = now
+        self.agent.collector.data_sent(pkt, first_time)
+        if state.all_sent() and not state.ack_check_scheduled:
+            state.ack_check_scheduled = True
+            self.env.schedule(2 * self.config.retx_timeout, self._ack_check, flow.fid)
+        return pkt
+
+    def _ack_check(self, fid: int) -> None:
+        state = self.flows.get(fid)
+        if state is None or state.done:
+            return
+        # All packets went out at least once but no ACK: poke the
+        # destination (it will re-ACK or re-grant missing packets).
+        self._send_rts(state)
+        self.env.schedule(2 * self.config.retx_timeout, self._ack_check, fid)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_flow_count(self) -> int:
+        return len(self.flows)

@@ -1,0 +1,126 @@
+"""Token bookkeeping at the pHost source.
+
+A :class:`Token` is the source-side record of a destination grant: it
+authorizes exactly one data packet (``seq``) at a given priority and
+lapses at ``expiry`` (1.5 MTU transmission times after receipt, by
+default).  :class:`SourceFlowState` tracks a flow's granted tokens, its
+free-token budget and what has been sent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.net.packet import Flow
+
+__all__ = ["Token", "SourceFlowState"]
+
+
+class Token:
+    """One send credit for one specific packet of one flow."""
+
+    __slots__ = ("seq", "priority", "expiry")
+
+    def __init__(self, seq: int, priority: int, expiry: float) -> None:
+        self.seq = seq
+        self.priority = priority
+        self.expiry = expiry
+
+    def expired(self, now: float) -> bool:
+        return now > self.expiry
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token(seq={self.seq}, prio={self.priority}, expiry={self.expiry:.9f})"
+
+
+class SourceFlowState:
+    """Source-side per-flow protocol state."""
+
+    __slots__ = (
+        "flow",
+        "tokens",
+        "free_left",
+        "next_free_seq",
+        "sent",
+        "done",
+        "got_token",
+        "rts_sends",
+        "ack_check_scheduled",
+    )
+
+    def __init__(self, flow: Flow, free_tokens: int) -> None:
+        self.flow = flow
+        self.tokens: List[Token] = []  # receipt order == spend order
+        self.free_left = min(free_tokens, flow.n_pkts)
+        self.next_free_seq = 0
+        self.sent: Set[int] = set()
+        self.done = False
+        self.got_token = False
+        self.rts_sends = 0
+        self.ack_check_scheduled = False
+
+    # ------------------------------------------------------------------
+    def add_token(self, token: Token) -> None:
+        self.tokens.append(token)
+        self.got_token = True
+
+    def prune_expired(self, now: float) -> int:
+        """Drop lapsed tokens; returns how many were discarded."""
+        if not self.tokens:
+            return 0
+        live = [t for t in self.tokens if t.expiry >= now]
+        dropped = len(self.tokens) - len(live)
+        if dropped:
+            self.tokens = live
+        return dropped
+
+    def has_granted_token(self, now: float) -> bool:
+        self.prune_expired(now)
+        return bool(self.tokens)
+
+    def pop_token(self) -> Token:
+        """Spend the oldest live token (FIFO among a flow's tokens)."""
+        return self.tokens.pop(0)
+
+    def has_free_token(self) -> bool:
+        # Skip entitlements for packets already sent via re-granted
+        # tokens, so the free path never double-sends a sequence.
+        while (
+            self.free_left > 0
+            and self.next_free_seq < self.flow.n_pkts
+            and self.next_free_seq in self.sent
+        ):
+            self.next_free_seq += 1
+            self.free_left -= 1
+        return self.free_left > 0 and self.next_free_seq < self.flow.n_pkts
+
+    def take_free_seq(self) -> int:
+        if not self.has_free_token():
+            raise RuntimeError(f"flow {self.flow.fid}: no free token available")
+        seq = self.next_free_seq
+        self.next_free_seq += 1
+        self.free_left -= 1
+        return seq
+
+    def has_any_token(self, now: float) -> bool:
+        """Any spendable credit — granted (unexpired) or free.
+
+        Mirrors Algorithm 1, where free tokens sit in the same
+        ActiveTokens list as granted ones: the spend policy chooses
+        across all of them.
+        """
+        self.prune_expired(now)
+        return bool(self.tokens) or self.has_free_token()
+
+    def remaining_hint(self) -> int:
+        """Packets not yet sent at least once (the SRPT spend key)."""
+        return self.flow.n_pkts - len(self.sent)
+
+    def all_sent(self) -> bool:
+        return len(self.sent) >= self.flow.n_pkts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SourceFlowState(fid={self.flow.fid}, tokens={len(self.tokens)}, "
+            f"free={self.free_left}, sent={len(self.sent)}/{self.flow.n_pkts})"
+        )

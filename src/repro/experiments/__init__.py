@@ -1,0 +1,14 @@
+"""Experiment harness (S12): declarative specs, a runner, and one
+driver per figure of the paper's evaluation section.
+"""
+
+from repro.experiments.spec import ExperimentResult, ExperimentSpec
+from repro.experiments.runner import run_experiment, run_incast, IncastResult
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run_experiment",
+    "run_incast",
+    "IncastResult",
+]

@@ -1,0 +1,337 @@
+"""Command-line entry point (``phost-repro``).
+
+Examples::
+
+    phost-repro --list
+    phost-repro --figure fig3 --scale tiny
+    phost-repro --figure fig3 --figure fig4
+    phost-repro --all --scale bench
+    phost-repro --run phost websearch --load 0.7 --flows 500
+    phost-repro --run phost imc10 --json
+    phost-repro --sweep load phost imc10 --values 0.5,0.6,0.7,0.8
+    phost-repro --replay trace.csv --protocol pfabric
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.defaults import SCALES, make_spec
+from repro.experiments.figures import ALL_FIGURES, run_figure
+from repro.experiments.report import FigureResult, render
+from repro.experiments.runner import run_experiment, run_flow_list
+from repro.experiments.spec import ExperimentResult, ExperimentSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phost-repro",
+        description=(
+            "Regenerate the evaluation of 'pHost: Distributed Near-Optimal "
+            "Datacenter Transport Over Commodity Network Fabric' (CoNEXT 2015)."
+        ),
+    )
+    mode = parser.add_argument_group("modes (pick one)")
+    mode.add_argument(
+        "--figure",
+        action="append",
+        default=[],
+        metavar="FIG",
+        help="figure to regenerate (repeatable); see --list",
+    )
+    mode.add_argument("--all", action="store_true", help="run every figure")
+    mode.add_argument("--list", action="store_true", help="list available figures")
+    mode.add_argument(
+        "--run",
+        nargs=2,
+        metavar=("PROTOCOL", "WORKLOAD"),
+        help="run a single ad-hoc experiment",
+    )
+    mode.add_argument(
+        "--sweep",
+        nargs=3,
+        metavar=("FIELD", "PROTOCOL", "WORKLOAD"),
+        help="sweep one spec field (e.g. load) over --values",
+    )
+    mode.add_argument(
+        "--replay",
+        metavar="TRACE.CSV",
+        help="simulate a flow trace file (see repro.workloads.trace_io)",
+    )
+    mode.add_argument(
+        "--report",
+        metavar="FILE.md",
+        help="run the full evaluation and write a paper-vs-measured report",
+    )
+    mode.add_argument(
+        "--batch",
+        metavar="SPECS.json",
+        help="run a JSON batch of experiments (see repro.experiments.specfile)",
+    )
+    mode.add_argument(
+        "--profile",
+        nargs=2,
+        metavar=("PROTOCOL", "WORKLOAD"),
+        help="per-size slowdown profile (log-binned) for one run",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --batch (default 1)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=sorted(SCALES),
+        help="run-size preset (default: bench)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--load", type=float, default=0.6, help="network load for --run")
+    parser.add_argument("--flows", type=int, default=None, help="flow count for --run")
+    parser.add_argument(
+        "--protocol", default="phost", help="protocol for --replay (default phost)"
+    )
+    parser.add_argument(
+        "--values",
+        default="0.5,0.6,0.7,0.8",
+        help="comma-separated values for --sweep (default: loads 0.5-0.8)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead of tables"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+
+def _result_dict(result: ExperimentResult) -> dict:
+    return {
+        "protocol": result.spec.protocol,
+        "workload": result.spec.workload,
+        "load": result.spec.load,
+        "seed": result.spec.seed,
+        "n_flows": result.n_flows,
+        "n_completed": result.n_completed,
+        "mean_slowdown": result.mean_slowdown(),
+        "p99_slowdown": result.tail_slowdown(99),
+        "nfct": result.nfct(),
+        "goodput_gbps_per_host": result.goodput_gbps_per_host,
+        "drops": result.drops.by_hop,
+        "drop_rate": result.drops.drop_rate,
+        "retransmissions": result.data_pkts_retransmitted,
+        "control_bytes": result.control_bytes_sent,
+        "duration_s": result.duration,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def _emit_result(result: ExperimentResult, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
+        return
+    print(result.summary())
+    print(
+        f"  goodput/host: {result.goodput_gbps_per_host:.3f} Gbps, "
+        f"99%ile slowdown: {result.tail_slowdown():.3f}, "
+        f"drops by hop: {result.drops.by_hop}"
+    )
+
+
+def _figure_dict(result: FigureResult) -> dict:
+    return {
+        "figure": result.figure,
+        "title": result.title,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Modes
+# ----------------------------------------------------------------------
+
+def _run_single(args: argparse.Namespace) -> int:
+    protocol, workload = args.run
+    overrides = dict(load=args.load, seed=args.seed)
+    if args.flows is not None:
+        overrides["n_flows"] = args.flows
+    spec = make_spec(protocol, workload, args.scale, **overrides)
+    _emit_result(run_experiment(spec), args.json)
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    field_name, protocol, workload = args.sweep
+    raw_values = [v.strip() for v in args.values.split(",") if v.strip()]
+    table = FigureResult(
+        figure=f"sweep:{field_name}",
+        title=f"{protocol}/{workload}: sweep over {field_name}",
+        columns=[field_name, "mean_slowdown", "p99_slowdown", "drop_rate"],
+    )
+    for raw in raw_values:
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        spec = make_spec(protocol, workload, args.scale, seed=args.seed)
+        try:
+            spec = spec.variant(**{field_name: value})
+        except TypeError:
+            print(f"error: ExperimentSpec has no field {field_name!r}", file=sys.stderr)
+            return 2
+        result = run_experiment(spec)
+        table.add_row(
+            **{
+                field_name: value,
+                "mean_slowdown": result.mean_slowdown(),
+                "p99_slowdown": result.tail_slowdown(99),
+                "drop_rate": result.drops.drop_rate,
+            }
+        )
+    if args.json:
+        print(json.dumps(_figure_dict(table), indent=2))
+    else:
+        print(render(table))
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from repro.workloads.trace_io import load_flows
+
+    preset = SCALES[args.scale]
+    spec = ExperimentSpec(
+        protocol=args.protocol,
+        workload="fixed:1",  # ignored by run_flow_list
+        n_flows=1,
+        topology=preset.topology,
+        seed=args.seed,
+    )
+    flows = load_flows(args.replay, n_hosts=preset.topology.n_hosts)
+    result = run_flow_list(spec, flows)
+    _emit_result(result, args.json)
+    return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import run_experiments_parallel
+    from repro.experiments.specfile import SpecFileError, load_spec_file
+
+    try:
+        named = load_spec_file(args.batch)
+    except SpecFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = run_experiments_parallel([spec for _, spec in named], args.parallel)
+    if args.json:
+        payload = {
+            name: _result_dict(result)
+            for (name, _), result in zip(named, results)
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    table = FigureResult(
+        figure="batch",
+        title=f"batch: {args.batch}",
+        columns=["name", "protocol", "workload", "load",
+                 "mean_slowdown", "p99_slowdown", "drop_rate"],
+    )
+    for (name, spec), result in zip(named, results):
+        table.add_row(
+            name=name,
+            protocol=spec.protocol,
+            workload=spec.workload,
+            load=spec.load,
+            mean_slowdown=result.mean_slowdown(),
+            p99_slowdown=result.tail_slowdown(99),
+            drop_rate=result.drops.drop_rate,
+        )
+    print(render(table))
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    from repro.metrics.cdf import slowdown_by_size, sparkline
+
+    protocol, workload = args.profile
+    overrides = dict(load=args.load, seed=args.seed)
+    if args.flows is not None:
+        overrides["n_flows"] = args.flows
+    spec = make_spec(protocol, workload, args.scale, **overrides)
+    result = run_experiment(spec)
+    rows = slowdown_by_size(result.records)
+    table = FigureResult(
+        figure="profile",
+        title=f"{protocol}/{workload} @ load {spec.load:g}: slowdown by flow size",
+        columns=["size_upto_bytes", "mean_slowdown", "flows"],
+        rows=[
+            {"size_upto_bytes": int(hi), "mean_slowdown": mean, "flows": count}
+            for hi, mean, count in rows
+        ],
+    )
+    table.notes.append("slowdown trend: " + sparkline([m for _, m, _ in rows]))
+    if args.json:
+        print(json.dumps(_figure_dict(table), indent=2))
+    else:
+        print(render(table))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in sorted(ALL_FIGURES):
+            doc = (ALL_FIGURES[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:7s} {doc}")
+        return 0
+    if args.run:
+        return _run_single(args)
+    if args.sweep:
+        return _run_sweep(args)
+    if args.replay:
+        return _run_replay(args)
+    if args.report:
+        from repro.experiments.summary import write_experiments_md
+
+        figures = list(args.figure) or None
+        out = write_experiments_md(
+            args.report, scale=args.scale, seed=args.seed, figures=figures
+        )
+        print(f"wrote {out}")
+        return 0
+    if args.batch:
+        return _run_batch(args)
+    if args.profile:
+        return _run_profile(args)
+    names = list(args.figure)
+    if args.all:
+        names = sorted(ALL_FIGURES)
+    if not names:
+        build_parser().print_help()
+        return 2
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_figure(name, scale=args.scale, seed=args.seed)
+        if args.json:
+            print(json.dumps(_figure_dict(result), indent=2))
+        else:
+            print(render(result))
+            print(f"({name} regenerated in {time.perf_counter() - t0:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,629 @@
+"""One driver per figure of the paper's evaluation (§4).
+
+Each ``figN*`` function runs the simulations that figure needs and
+returns a :class:`~repro.experiments.report.FigureResult` whose rows are
+the series the paper plots.  All drivers accept a ``scale`` preset
+("tiny" / "bench" / "full", see :mod:`repro.experiments.defaults`) and a
+seed; identical (spec) runs within one process are memoized so drivers
+that share the default configuration (fig3, fig4, fig5a/b/d) do not
+re-simulate.
+
+The paper has no numbered tables — Figures 2-11 are the complete result
+set.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.defaults import PROTOCOLS, WORKLOAD_NAMES, SCALES, make_spec
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import (
+    run_experiment,
+    run_incast,
+    run_tenant_fairness,
+)
+from repro.experiments.spec import ExperimentResult, ExperimentSpec
+from repro.core.config import PHostConfig
+from repro.workloads.distributions import LONG_FLOW_THRESHOLD, WORKLOADS, bimodal
+
+__all__ = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5e",
+    "fig5f",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig9d",
+    "fig10",
+    "fig11",
+    "ALL_FIGURES",
+    "run_figure",
+    "clear_cache",
+]
+
+# ----------------------------------------------------------------------
+# Per-process run memoization (figures sharing the default config reuse
+# each other's simulations)
+# ----------------------------------------------------------------------
+_CACHE: Dict[str, ExperimentResult] = {}
+
+
+def _run(spec: ExperimentSpec) -> ExperimentResult:
+    key = repr(spec)
+    hit = _CACHE.get(key)
+    if hit is None:
+        hit = run_experiment(spec)
+        _CACHE[key] = hit
+    return hit
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+    _INCAST_CACHE.clear()
+
+
+def _long_threshold(workload: str, scale: str = "full") -> int:
+    """The Fig. 4 short/long boundary, adapted to truncation.
+
+    The paper splits at 10 MB (Web Search / Data Mining) and 100 kB
+    (IMC10).  When a scale preset truncates the tail below the paper's
+    boundary no flow would ever be "long", so the boundary shifts to a
+    third of the cap — flows near the truncated tail play the long-flow
+    role.
+    """
+    paper = LONG_FLOW_THRESHOLD.get(workload, 10_000_000)
+    preset = SCALES.get(scale)
+    if preset is None:
+        return paper
+    trunc = preset.truncate_for(workload)
+    if trunc is not None and trunc <= paper:
+        return trunc // 3
+    return paper
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — workload flow-size CDFs
+# ----------------------------------------------------------------------
+
+def fig2(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Flow-size CDFs of the three workloads (no simulation needed)."""
+    result = FigureResult(
+        figure="fig2",
+        title="Distribution of flow sizes across workloads",
+        columns=["size_bytes"] + list(WORKLOAD_NAMES),
+    )
+    grid = [1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9]
+    dists = {name: WORKLOADS[name]() for name in WORKLOAD_NAMES}
+    for size in grid:
+        result.add_row(
+            size_bytes=int(size),
+            **{name: dists[name].cdf_at(size) for name in WORKLOAD_NAMES},
+        )
+    result.notes.append(
+        "short flows dominate all workloads; DataMining/IMC10 have far more "
+        "tiny flows than WebSearch; IMC10 tail capped at 3MB vs 1GB"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 3 & 4 — mean slowdown at the default configuration
+# ----------------------------------------------------------------------
+
+def fig3(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Mean slowdown of the three protocols across the three workloads
+    (0.6 load, 36kB buffers, all-to-all)."""
+    result = FigureResult(
+        figure="fig3",
+        title="Mean slowdown across workloads (default config)",
+        columns=["workload"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        row = {"workload": workload}
+        for protocol in PROTOCOLS:
+            row[protocol] = _run(make_spec(protocol, workload, scale, seed=seed)).mean_slowdown()
+        result.add_row(**row)
+    result.notes.append("paper: pHost within ~4% of pFabric; Fastpass 1.3-4x worse")
+    return result
+
+
+def fig4(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Mean slowdown split into short and long flows (same runs as fig3)."""
+    result = FigureResult(
+        figure="fig4",
+        title="Mean slowdown by flow size class",
+        columns=["workload", "class"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        threshold = _long_threshold(workload, scale)
+        rows = {"short": {"workload": workload, "class": "short"},
+                "long": {"workload": workload, "class": "long"}}
+        for protocol in PROTOCOLS:
+            r = _run(make_spec(protocol, workload, scale, seed=seed))
+            short, long_ = r.short_long_slowdown(threshold)
+            rows["short"][protocol] = short
+            rows["long"][protocol] = long_
+        result.add_row(**rows["short"])
+        result.add_row(**rows["long"])
+    result.notes.append(
+        "paper: all comparable on long flows; pHost~pFabric and 1.3-4x "
+        "better than Fastpass on short flows"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — additional metrics
+# ----------------------------------------------------------------------
+
+def fig5a(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Normalized FCT (dominated by long flows)."""
+    result = FigureResult(
+        figure="fig5a",
+        title="Normalized FCT across workloads",
+        columns=["workload"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        row = {"workload": workload}
+        for protocol in PROTOCOLS:
+            row[protocol] = _run(make_spec(protocol, workload, scale, seed=seed)).nfct()
+        result.add_row(**row)
+    result.notes.append("paper: max difference between any two protocols ~15%")
+    return result
+
+
+def fig5b(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Per-host goodput (Gbps) over the active window."""
+    result = FigureResult(
+        figure="fig5b",
+        title="Throughput (per-host goodput, Gbps)",
+        columns=["workload"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        row = {"workload": workload}
+        for protocol in PROTOCOLS:
+            row[protocol] = _run(
+                make_spec(protocol, workload, scale, seed=seed)
+            ).goodput_gbps_per_host
+        result.add_row(**row)
+    result.notes.append("paper: all protocols similar; below load x access rate")
+    return result
+
+
+def fig5c(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Fraction of flows meeting exponential (mean 1000us) deadlines."""
+    result = FigureResult(
+        figure="fig5c",
+        title="Deadline-constrained traffic: fraction of deadlines met",
+        columns=["workload"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        row = {"workload": workload}
+        for protocol in PROTOCOLS:
+            cfg = PHostConfig.deadline() if protocol == "phost" else None
+            spec = make_spec(
+                protocol,
+                workload,
+                scale,
+                seed=seed,
+                with_deadlines=True,
+                protocol_config=cfg,
+            )
+            row[protocol] = _run(spec).deadline_met_fraction()
+        result.add_row(**row)
+    result.notes.append(
+        "pHost runs its EDF grant/spend policies; paper: all protocols "
+        "within ~2% of each other"
+    )
+    return result
+
+
+def fig5d(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """99th-percentile slowdown for short flows."""
+    from repro.metrics.slowdown import slowdown_percentile
+
+    result = FigureResult(
+        figure="fig5d",
+        title="99%ile slowdown (short flows)",
+        columns=["workload"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        threshold = _long_threshold(workload, scale)
+        row = {"workload": workload}
+        for protocol in PROTOCOLS:
+            r = _run(make_spec(protocol, workload, scale, seed=seed))
+            row[protocol] = slowdown_percentile(r.short_records(threshold), 99.0)
+        result.add_row(**row)
+    result.notes.append(
+        "paper: pHost/pFabric tails ~1.3x their mean; Fastpass ~2x its mean"
+    )
+    return result
+
+
+def fig5e(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Packet drop rate vs load (Web Search workload)."""
+    result = FigureResult(
+        figure="fig5e",
+        title="Drop rate vs load (Web Search)",
+        columns=["load"] + list(PROTOCOLS),
+    )
+    for load in (0.5, 0.6, 0.7, 0.8):
+        row = {"load": load}
+        for protocol in PROTOCOLS:
+            r = _run(make_spec(protocol, "websearch", scale, seed=seed, load=load))
+            row[protocol] = r.drops.drop_rate
+        result.add_row(**row)
+    result.notes.append(
+        "paper: pFabric's drop rate is high and grows with load; "
+        "pHost/Fastpass stay ~0"
+    )
+    return result
+
+
+def fig5f(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Absolute packet drops per hop (Web Search, 0.6 load)."""
+    result = FigureResult(
+        figure="fig5f",
+        title="Packet drops across hops (hop1=NIC .. hop4=ToR down)",
+        columns=["protocol", "hop1", "hop2", "hop3", "hop4", "injected"],
+    )
+    for protocol in PROTOCOLS:
+        r = _run(make_spec(protocol, "websearch", scale, seed=seed))
+        by_hop = r.drops.by_hop
+        result.add_row(
+            protocol=protocol,
+            hop1=by_hop.get(1, 0),
+            hop2=by_hop.get(2, 0),
+            hop3=by_hop.get(3, 0),
+            hop4=by_hop.get(4, 0),
+            injected=r.data_pkts_injected + r.data_pkts_retransmitted,
+        )
+    result.notes.append(
+        "paper: pFabric drops concentrate at first/last hop; pHost/Fastpass "
+        "eliminate first-hop drops and fabric drops are negligible for all"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — load sweep
+# ----------------------------------------------------------------------
+
+def fig6(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Mean slowdown vs network load for each workload."""
+    result = FigureResult(
+        figure="fig6",
+        title="Mean slowdown vs load",
+        columns=["workload", "load"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        for load in (0.5, 0.6, 0.7, 0.8):
+            row = {"workload": workload, "load": load}
+            for protocol in PROTOCOLS:
+                r = _run(make_spec(protocol, workload, scale, seed=seed, load=load))
+                row[protocol] = r.mean_slowdown()
+            result.add_row(**row)
+    result.notes.append(
+        "paper: ordering consistent across loads; absolute values grow "
+        "with load (0.8 is beyond the stable regime)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — stability analysis
+# ----------------------------------------------------------------------
+
+def fig7(scale: str = "bench", seed: int = 42, protocol: str = "pfabric") -> FigureResult:
+    """Fraction of packets pending vs fraction arrived, per load."""
+    preset = SCALES[scale]
+    result = FigureResult(
+        figure="fig7",
+        title=f"Stability analysis ({protocol}, Web Search)",
+        columns=["load", "frac_arrived", "frac_pending"],
+    )
+    verdicts = []
+    # The stability signal only means something past the ramp-up
+    # transient: the standing backlog must reach steady state well
+    # before arrivals end.  So this figure sizes the run by the fabric
+    # (flows per host) and truncates the tail harder than the preset —
+    # shorter flows converge faster without changing the phenomenon.
+    # The paper sweeps 0.6-0.8; at reproduction scale the instability
+    # onset shifts upward, so a clearly-overloaded point is included.
+    n_flows = 30 * preset.topology.n_hosts
+    trunc = preset.truncate_for("websearch")
+    trunc = min(trunc, 300_000) if trunc else 300_000
+    for load in (0.6, 0.8, 0.9, 1.1):
+        spec = make_spec(
+            protocol,
+            "websearch",
+            scale,
+            seed=seed,
+            load=load,
+            n_flows=n_flows,
+            max_flow_bytes=trunc,
+            stability_samples=preset.stability_samples,
+            time_guard_factor=1.5,
+        )
+        r = _run(spec)
+        for sample in r.stability:
+            result.add_row(
+                load=load,
+                frac_arrived=sample.frac_arrived,
+                frac_pending=sample.frac_pending,
+            )
+        from repro.metrics.stability import samples_stable
+
+        verdict = "stable" if samples_stable(r.stability) else "UNSTABLE"
+        verdicts.append(f"load {load:g}: {verdict}")
+    result.notes.append("; ".join(verdicts))
+    result.notes.append("paper: flat curve at 0.6 load, rising (unstable) at 0.7-0.8")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — synthetic bimodal workload
+# ----------------------------------------------------------------------
+
+_BIMODAL_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 0.9, 0.995)
+
+
+def fig8(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Mean slowdown vs percentage of short flows (3 vs 700 packets)."""
+    result = FigureResult(
+        figure="fig8",
+        title="Bimodal workload: slowdown vs % short flows",
+        columns=["pct_short"] + list(PROTOCOLS),
+    )
+    for frac in _BIMODAL_FRACTIONS:
+        row = {"pct_short": round(100 * frac, 1)}
+        for protocol in PROTOCOLS:
+            spec = make_spec(
+                protocol,
+                "bimodal",
+                scale,
+                seed=seed,
+                bimodal_fraction_short=frac,
+            )
+            row[protocol] = _run(spec).mean_slowdown()
+        result.add_row(**row)
+    result.notes.append(
+        "paper: pHost tracks pFabric across the sweep; Fastpass degrades "
+        "as short flows dominate"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — other traffic matrices
+# ----------------------------------------------------------------------
+
+def fig9a(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Permutation TM, trace workloads."""
+    result = FigureResult(
+        figure="fig9a",
+        title="Permutation TM: mean slowdown across workloads",
+        columns=["workload"] + list(PROTOCOLS),
+    )
+    for workload in WORKLOAD_NAMES:
+        row = {"workload": workload}
+        for protocol in PROTOCOLS:
+            spec = make_spec(
+                protocol, workload, scale, seed=seed, traffic_matrix="permutation"
+            )
+            row[protocol] = _run(spec).mean_slowdown()
+        result.add_row(**row)
+    result.notes.append("paper: pHost outperforms both baselines under permutation TM")
+    return result
+
+
+def fig9b(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Permutation TM, bimodal sweep."""
+    result = FigureResult(
+        figure="fig9b",
+        title="Permutation TM: bimodal slowdown vs % short flows",
+        columns=["pct_short"] + list(PROTOCOLS),
+    )
+    for frac in _BIMODAL_FRACTIONS:
+        row = {"pct_short": round(100 * frac, 1)}
+        for protocol in PROTOCOLS:
+            spec = make_spec(
+                protocol,
+                "bimodal",
+                scale,
+                seed=seed,
+                traffic_matrix="permutation",
+                bimodal_fraction_short=frac,
+            )
+            row[protocol] = _run(spec).mean_slowdown()
+        result.add_row(**row)
+    return result
+
+
+_INCAST_SENDERS = (5, 15, 30, 50)
+_INCAST_CACHE: Dict[tuple, object] = {}
+
+
+def _incast(protocol, n_senders, preset, seed):
+    """Memoized incast run shared by fig9c and fig9d."""
+    key = (protocol, n_senders, preset.incast_bytes, preset.incast_requests,
+           repr(preset.topology), seed)
+    hit = _INCAST_CACHE.get(key)
+    if hit is None:
+        hit = run_incast(
+            protocol,
+            n_senders=n_senders,
+            total_bytes=preset.incast_bytes,
+            n_requests=preset.incast_requests,
+            topology=preset.topology,
+            seed=seed,
+        )
+        _INCAST_CACHE[key] = hit
+    return hit
+
+
+def _incast_senders(preset) -> tuple:
+    """The paper's 5-50 sender sweep, capped to the fabric size."""
+    cap = preset.topology.n_hosts - 1
+    senders = tuple(n for n in _INCAST_SENDERS if n <= cap)
+    return senders or (min(5, cap),)
+
+
+def fig9c(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Incast TM: average FCT vs number of senders."""
+    preset = SCALES[scale]
+    result = FigureResult(
+        figure="fig9c",
+        title=f"Incast TM: mean FCT (ms), {preset.incast_bytes/1e6:g}MB per request",
+        columns=["n_senders"] + list(PROTOCOLS),
+    )
+    for n in _incast_senders(preset):
+        row = {"n_senders": n}
+        for protocol in PROTOCOLS:
+            r = _incast(protocol, n, preset, seed)
+            row[protocol] = r.mean_fct * 1e3
+        result.add_row(**row)
+    result.notes.append("paper: all protocols within ~7% of each other")
+    return result
+
+
+def fig9d(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Incast TM: average request completion time vs number of senders."""
+    preset = SCALES[scale]
+    result = FigureResult(
+        figure="fig9d",
+        title=f"Incast TM: mean RCT (ms), {preset.incast_bytes/1e6:g}MB per request",
+        columns=["n_senders"] + list(PROTOCOLS),
+    )
+    for n in _incast_senders(preset):
+        row = {"n_senders": n}
+        for protocol in PROTOCOLS:
+            r = _incast(protocol, n, preset, seed)
+            row[protocol] = r.mean_rct * 1e3
+        result.add_row(**row)
+    result.notes.append(
+        "paper: <4% spread; RCT nearly flat in N (data volume is fixed)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — switch buffer sweep
+# ----------------------------------------------------------------------
+
+_BUFFER_SWEEP = (6_000, 12_000, 18_000, 24_000, 36_000, 72_000)
+
+
+def fig10(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Mean slowdown vs per-port buffer size (Data Mining)."""
+    result = FigureResult(
+        figure="fig10",
+        title="Mean slowdown vs switch buffer size (Data Mining)",
+        columns=["buffer_bytes"] + list(PROTOCOLS),
+    )
+    for buffer_bytes in _BUFFER_SWEEP:
+        row = {"buffer_bytes": buffer_bytes}
+        for protocol in PROTOCOLS:
+            spec = make_spec(
+                protocol, "datamining", scale, seed=seed, buffer_bytes=buffer_bytes
+            )
+            row[protocol] = _run(spec).mean_slowdown()
+        result.add_row(**row)
+    result.notes.append("paper: all three insensitive to buffer size, even at 6kB")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — multi-tenant fairness
+# ----------------------------------------------------------------------
+
+def fig11(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Throughput share per tenant: pHost (tenant-fair policy) vs pFabric."""
+    from repro.net.topology import TopologyConfig
+
+    # Shares only show scheduling policy when every host has a *deep*
+    # standing backlog of both tenants, so this figure trades fabric
+    # size for backlog depth: a small fabric with several MB per host
+    # per tenant (the paper injects entire traces at t=0).
+    topo = TopologyConfig.small() if scale != "full" else TopologyConfig.paper()
+    per_host = {"tiny": 2_000_000, "bench": 5_000_000}.get(scale, 8_000_000)
+    budget = per_host * topo.n_hosts
+    # Keep the tenants' flow-size contrast: WebSearch keeps multi-MB
+    # flows (up to the budget scale), IMC10 is naturally <=3MB.
+    trunc = 2_000_000
+    workloads = {0: "imc10", 1: "websearch"}
+    result = FigureResult(
+        figure="fig11",
+        title="Multi-tenant throughput share (tenant0=IMC10, tenant1=WebSearch)",
+        columns=["protocol", "imc10_share", "websearch_share"],
+    )
+    for protocol, cfg in (
+        ("phost", PHostConfig.tenant_fair()),
+        ("pfabric", None),
+    ):
+        r = run_tenant_fairness(
+            protocol,
+            workloads,
+            bytes_per_tenant=budget,
+            topology=topo,
+            max_flow_bytes=trunc,
+            protocol_config=cfg,
+            seed=seed,
+        )
+        result.add_row(
+            protocol=protocol,
+            imc10_share=r.share_of(0),
+            websearch_share=r.share_of(1),
+        )
+    result.notes.append(
+        "paper: pFabric implicitly favours the short-flow (IMC10) tenant; "
+        "pHost's tenant-fair token policy splits throughput ~evenly"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Registry / entry point
+# ----------------------------------------------------------------------
+
+ALL_FIGURES = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "fig5c": fig5c,
+    "fig5d": fig5d,
+    "fig5e": fig5e,
+    "fig5f": fig5f,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9a": fig9a,
+    "fig9b": fig9b,
+    "fig9c": fig9c,
+    "fig9d": fig9d,
+    "fig10": fig10,
+    "fig11": fig11,
+}
+
+
+def run_figure(name: str, scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Run one figure driver by name ("fig3", "fig9c", ...)."""
+    try:
+        driver = ALL_FIGURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown figure {name!r}; available: {sorted(ALL_FIGURES)}"
+        ) from None
+    return driver(scale=scale, seed=seed)

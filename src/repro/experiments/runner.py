@@ -1,0 +1,432 @@
+"""Turn an :class:`ExperimentSpec` into an :class:`ExperimentResult`.
+
+Also hosts the closed-loop incast driver (Figures 9c/9d): requests are
+issued sequentially — the next request starts when the previous one's
+last flow completes — and RCT is the request's makespan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.drops import DropStats
+from repro.metrics.records import FlowRecord, records_from_flows
+from repro.metrics.stability import StabilityTracker
+from repro.metrics.throughput import per_host_goodput_gbps
+from repro.net.packet import Flow
+from repro.net.topology import Fabric, TopologyConfig
+from repro.protocols.registry import get_protocol
+from repro.sim.engine import EventLoop
+from repro.sim.randoms import SeededRng
+from repro.workloads.deadlines import assign_deadlines
+from repro.workloads.distributions import WORKLOADS, bimodal, fixed_size
+from repro.workloads.generator import FlowGenerator
+from repro.workloads.traffic_matrix import AllToAll, IncastPattern, Permutation
+
+from repro.experiments.spec import ExperimentResult, ExperimentSpec
+
+__all__ = [
+    "run_experiment",
+    "run_flow_list",
+    "run_incast",
+    "run_tenant_fairness",
+    "IncastResult",
+    "TenantFairnessResult",
+    "build_simulation",
+]
+
+
+def _resolve_workload(spec: ExperimentSpec):
+    from repro.workloads.synthetic import parse_synthetic
+
+    name = spec.workload
+    synthetic = parse_synthetic(name)
+    if name in WORKLOADS:
+        dist = WORKLOADS[name]()
+    elif name == "bimodal":
+        dist = bimodal(spec.bimodal_fraction_short)
+    elif name.startswith("fixed:"):
+        dist = fixed_size(int(name.split(":", 1)[1]))
+    elif synthetic is not None:
+        dist = synthetic
+    else:
+        raise ValueError(
+            f"unknown workload {spec.workload!r}; expected one of "
+            f"{sorted(WORKLOADS)}, 'bimodal', 'fixed:<bytes>', or a "
+            "synthetic spec ('pareto:a:lo:hi', 'lognormal:median:sigma', "
+            "'uniform:lo:hi')"
+        )
+    if spec.max_flow_bytes is not None and spec.max_flow_bytes < dist.max_bytes:
+        # Truncate the distribution itself so the Poisson arrival rate
+        # is calibrated against the sizes actually offered — otherwise
+        # the effective load would be far below spec.load.
+        dist = dist.truncated(spec.max_flow_bytes)
+    return dist
+
+
+def _resolve_tm(spec: ExperimentSpec, n_hosts: int, rng: SeededRng):
+    if spec.traffic_matrix == "permutation":
+        return Permutation(n_hosts, rng)
+    return AllToAll(n_hosts)
+
+
+def build_simulation(
+    spec: ExperimentSpec,
+) -> Tuple[EventLoop, Fabric, MetricsCollector, Any]:
+    """Instantiate env + fabric + agents for a spec (no flows yet).
+
+    Returns (env, fabric, collector, protocol_config).  Exposed so tests
+    and custom drivers (incast, examples) can reuse the wiring.
+    """
+    env = EventLoop()
+    rng = SeededRng(spec.seed)
+    proto = get_protocol(spec.protocol)
+    topo = spec.with_topology_buffer()
+    collector = MetricsCollector()
+    from repro.net.fattree import FatTreeConfig, FatTreeFabric
+
+    fabric_cls = FatTreeFabric if isinstance(topo, FatTreeConfig) else Fabric
+    fabric = fabric_cls(
+        env,
+        topo,
+        rng,
+        queue_factory=lambda cap: proto.switch_queue_factory(cap),
+        host_queue_factory=lambda cap: proto.host_queue_factory(cap),
+    )
+    if spec.protocol_config is not None:
+        config = spec.protocol_config
+        if hasattr(config, "resolve"):
+            config = config.resolve(topo)
+    else:
+        config = proto.config_factory(fabric)
+    shared = proto.build_shared(env, fabric, collector, config)
+    for host in fabric.hosts:
+        agent = proto.agent_factory(host, env, fabric, collector, config, shared)
+        host.install_agent(agent)
+    return env, fabric, collector, config
+
+
+def _generate_flows(spec: ExperimentSpec, fabric: Fabric, rng: SeededRng) -> List[Flow]:
+    dist = _resolve_workload(spec)
+    tm = _resolve_tm(spec, fabric.config.n_hosts, rng)
+    tenant_of: Optional[Callable[[int], int]] = None
+    if spec.tenant_split is not None:
+        split = spec.tenant_split
+        tenant_rng = rng.stream("tenants")
+        tenant_of = lambda i: 1 if tenant_rng.random() < split else 0  # noqa: E731
+    gen = FlowGenerator(
+        dist, tm, fabric.config.access_bps, spec.load, rng, tenant_of=tenant_of
+    )
+    flows = gen.generate(spec.n_flows)  # dist already truncated above
+    if spec.with_deadlines:
+        assign_deadlines(flows, fabric, rng, mean=spec.deadline_mean)
+    return flows
+
+
+def _default_time_guard(spec: ExperimentSpec, flows: List[Flow]) -> float:
+    """Wall for the simulated clock.
+
+    Stable runs stop the moment the last flow completes; the guard only
+    matters for the unstable regime (paper §4.3), where sources fall
+    ever further behind and the run would otherwise never drain.  The
+    budget is ``time_guard_factor`` x (arrival window + the wire time of
+    the largest flow) — the second term keeps short-horizon runs with
+    huge flows from being cut off mid-transfer.
+    """
+    if spec.max_sim_time is not None:
+        return spec.max_sim_time
+    if not flows:
+        return 0.1
+    horizon = flows[-1].arrival
+    access = spec.topology.access_bps
+    largest = max(f.size_bytes for f in flows)
+    drain = largest * 8.0 / access
+    return spec.time_guard_factor * (horizon + drain) + 1e-5
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one simulation to completion (or its time guard)."""
+    env, fabric, collector, _config = build_simulation(spec)
+    rng = SeededRng(spec.seed)
+    flows = _generate_flows(spec, fabric, rng)
+    return run_flow_list(spec, flows, env, fabric, collector)
+
+
+def run_flow_list(
+    spec: ExperimentSpec,
+    flows: List[Flow],
+    env: Optional[EventLoop] = None,
+    fabric: Optional[Fabric] = None,
+    collector: Optional[MetricsCollector] = None,
+) -> ExperimentResult:
+    """Run an explicit flow list (e.g. loaded from a trace file).
+
+    ``spec`` supplies the protocol/topology wiring and run controls; the
+    workload fields are ignored.  Pass the triple from a prior
+    :func:`build_simulation` call to reuse custom wiring (tracers,
+    monitors); otherwise it is built here.
+    """
+    wall_start = time.perf_counter()
+    if env is None or fabric is None or collector is None:
+        env, fabric, collector, _config = build_simulation(spec)
+    flows = sorted(flows, key=lambda f: f.arrival)
+    collector.total_pkts_offered = sum(f.n_pkts for f in flows)
+    collector.expected_flows = len(flows)
+
+    for flow in flows:
+        agent = fabric.hosts[flow.src].agent
+        env.schedule_at(flow.arrival, agent.start_flow, flow)
+
+    tracker: Optional[StabilityTracker] = None
+    if spec.stability_samples > 0:
+        horizon = max(flows[-1].arrival, 1e-6)
+        tracker = StabilityTracker(env, collector, horizon / spec.stability_samples)
+        tracker.start()
+
+    # Stop as soon as the last flow completes.
+    def _maybe_stop(flow: Flow, now: float) -> None:
+        if collector.all_complete:
+            env.stop()
+
+    collector.on_complete = _maybe_stop
+
+    guard = _default_time_guard(spec, flows)
+    env.run(until=guard)
+    if tracker is not None:
+        tracker.stop()
+        tracker.sample()  # terminal point
+
+    records = records_from_flows(flows, fabric)
+    duration = collector.duration()
+    result = ExperimentResult(
+        spec=spec,
+        records=records,
+        drops=DropStats.from_run(fabric, collector),
+        duration=duration,
+        n_flows=len(flows),
+        n_completed=collector.n_completed,
+        payload_bytes_delivered=collector.payload_bytes_delivered,
+        data_pkts_injected=collector.data_pkts_injected,
+        data_pkts_retransmitted=collector.data_pkts_retransmitted,
+        control_pkts_sent=collector.control_pkts_sent,
+        control_bytes_sent=collector.control_bytes_sent,
+        goodput_gbps_per_host=per_host_goodput_gbps(collector, fabric.config.n_hosts),
+        stability=list(tracker.samples) if tracker is not None else [],
+        events_processed=env.events_processed,
+        wall_seconds=time.perf_counter() - wall_start,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Incast driver (Figures 9c and 9d)
+# ----------------------------------------------------------------------
+
+@dataclass
+class IncastResult:
+    """Outcome of a closed-loop incast experiment."""
+
+    n_senders: int
+    total_bytes: int
+    n_requests: int
+    rcts: List[float] = field(default_factory=list)
+    fcts: List[float] = field(default_factory=list)
+
+    @property
+    def mean_rct(self) -> float:
+        return sum(self.rcts) / len(self.rcts) if self.rcts else float("nan")
+
+    @property
+    def mean_fct(self) -> float:
+        return sum(self.fcts) / len(self.fcts) if self.fcts else float("nan")
+
+
+def run_incast(
+    protocol: str,
+    n_senders: int,
+    total_bytes: int,
+    n_requests: int = 10,
+    topology: Optional[TopologyConfig] = None,
+    seed: int = 42,
+    protocol_config: Any = None,
+) -> IncastResult:
+    """Closed-loop incast: each request fans N senders into one receiver;
+    the next request starts when the previous completes."""
+    spec = ExperimentSpec(
+        protocol=protocol,
+        workload="fixed:1",  # unused; flows are built by the driver
+        n_flows=1,
+        topology=topology or TopologyConfig.paper(),
+        protocol_config=protocol_config,
+        seed=seed,
+    )
+    env, fabric, collector, _config = build_simulation(spec)
+    rng = SeededRng(seed).stream("incast")
+    pattern = IncastPattern(fabric.config.n_hosts, n_senders, total_bytes)
+    result = IncastResult(n_senders=n_senders, total_bytes=total_bytes, n_requests=n_requests)
+
+    state: Dict[str, Any] = {"request": 0, "outstanding": 0, "start": 0.0, "next_fid": 0}
+
+    def launch_request() -> None:
+        receiver, senders = pattern.make_request(rng)
+        now = env.now
+        state["outstanding"] = len(senders)
+        state["start"] = now
+        per_sender = pattern.bytes_per_sender
+        for sender in senders:
+            fid = state["next_fid"]
+            state["next_fid"] += 1
+            flow = Flow(fid, sender, receiver, per_sender, now, request_id=state["request"])
+            collector.total_pkts_offered += flow.n_pkts
+            fabric.hosts[sender].agent.start_flow(flow)
+
+    def on_complete(flow: Flow, now: float) -> None:
+        result.fcts.append(now - flow.arrival)
+        state["outstanding"] -= 1
+        if state["outstanding"] == 0:
+            result.rcts.append(now - state["start"])
+            state["request"] += 1
+            if state["request"] >= n_requests:
+                env.stop()
+            else:
+                launch_request()
+
+    collector.on_complete = on_complete
+    env.schedule_at(0.0, launch_request)
+    env.run(until=3600.0)  # safety wall; closed loop ends via env.stop()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant fairness driver (Figure 11)
+# ----------------------------------------------------------------------
+
+@dataclass
+class TenantFairnessResult:
+    """Per-tenant throughput shares for the Figure 11 scenario.
+
+    Each tenant injects an equal byte budget at t=0.  ``shares`` is the
+    per-tenant split of bytes delivered by the *halfway point* of total
+    delivery — a window in which both tenants are still backlogged, so
+    the split reflects the scheduling policy rather than total demand.
+    Under a fair scheduler it is ~0.5/0.5; under SRPT-in-the-fabric
+    (pFabric) the short-flow-heavy tenant is visibly favoured.
+    ``throughput_bps`` additionally records budget / drain-time rates.
+    """
+
+    protocol: str
+    shares: Dict[int, float]
+    delivered_bytes: Dict[int, int]
+    drain_time: Dict[int, float]
+    throughput_bps: Dict[int, float]
+
+    def share_of(self, tenant: int) -> float:
+        return self.shares.get(tenant, 0.0)
+
+    def rate_share_of(self, tenant: int) -> float:
+        """Share of drain-rate throughput (budget / drain time)."""
+        total = sum(self.throughput_bps.values())
+        if not total:
+            return 0.0
+        return self.throughput_bps.get(tenant, 0.0) / total
+
+
+def run_tenant_fairness(
+    protocol: str,
+    workload_by_tenant: Dict[int, str],
+    bytes_per_tenant: int = 20_000_000,
+    topology: Optional[TopologyConfig] = None,
+    max_flow_bytes: Optional[int] = None,
+    protocol_config: Any = None,
+    seed: int = 42,
+) -> TenantFairnessResult:
+    """Figure 11's scenario: tenants inject their whole trace at the
+    start; measure how the fabric's throughput is shared.
+
+    Flow sizes follow each tenant's workload distribution; flows are
+    drawn until the tenant's byte budget is met, so the comparison is
+    between equal demands with different flow-size mixes.
+    """
+    from repro.workloads.distributions import WORKLOADS
+    from repro.workloads.traffic_matrix import AllToAll
+
+    spec = ExperimentSpec(
+        protocol=protocol,
+        workload="fixed:1",  # unused; the driver builds flows itself
+        n_flows=1,
+        topology=topology or TopologyConfig.paper(),
+        protocol_config=protocol_config,
+        seed=seed,
+    )
+    env, fabric, collector, _config = build_simulation(spec)
+    rng = SeededRng(seed)
+    tm = AllToAll(fabric.config.n_hosts)
+    pair_rng = rng.stream("pairs")
+    jitter = rng.stream("jitter")
+
+    flows: List[Flow] = []
+    remaining_flows: Dict[int, int] = {}
+    budget_bytes: Dict[int, int] = {}
+    fid = 0
+    for tenant, workload in sorted(workload_by_tenant.items()):
+        dist = WORKLOADS[workload]()
+        size_rng = rng.stream(f"sizes-{tenant}")
+        total = 0
+        count = 0
+        while total < bytes_per_tenant:
+            size = dist.sample(size_rng)
+            if max_flow_bytes is not None:
+                size = min(size, max_flow_bytes)
+            src, dst = tm.sample_pair(pair_rng)
+            # "Both tenants inject the flows in their trace at the
+            # beginning of the simulation": tiny jitter only, to avoid
+            # a mega-batch at one timestamp.
+            arrival = jitter.uniform(0.0, 50e-6)
+            flows.append(Flow(fid, src, dst, size, arrival, tenant=tenant))
+            fid += 1
+            total += size
+            count += 1
+        remaining_flows[tenant] = count
+        budget_bytes[tenant] = total
+
+    collector.total_pkts_offered = sum(f.n_pkts for f in flows)
+    collector.expected_flows = len(flows)
+    for flow in flows:
+        env.schedule_at(flow.arrival, fabric.hosts[flow.src].agent.start_flow, flow)
+
+    drain_time: Dict[int, float] = {}
+    grand_total = sum(budget_bytes.values())
+    halfway_snapshot: Dict[int, int] = {}
+
+    def on_complete(flow: Flow, now: float) -> None:
+        remaining_flows[flow.tenant] -= 1
+        if remaining_flows[flow.tenant] == 0:
+            drain_time[flow.tenant] = now
+        if not halfway_snapshot and collector.payload_bytes_delivered >= grand_total // 2:
+            halfway_snapshot.update(collector.delivered_bytes_by_tenant)
+        if collector.all_complete:
+            env.stop()
+
+    collector.on_complete = on_complete
+    env.run(until=60.0)
+    throughput = {
+        tenant: (budget_bytes[tenant] * 8.0 / drain_time[tenant])
+        for tenant in drain_time
+        if drain_time[tenant] > 0
+    }
+    snapshot = halfway_snapshot or dict(collector.delivered_bytes_by_tenant)
+    snap_total = sum(snapshot.values())
+    shares = {
+        t: (snapshot.get(t, 0) / snap_total if snap_total else 0.0)
+        for t in workload_by_tenant
+    }
+    return TenantFairnessResult(
+        protocol=protocol,
+        shares=shares,
+        delivered_bytes=dict(collector.delivered_bytes_by_tenant),
+        drain_time=drain_time,
+        throughput_bps=throughput,
+    )

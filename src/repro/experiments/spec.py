@@ -1,0 +1,160 @@
+"""Experiment specification and result types.
+
+An :class:`ExperimentSpec` fully determines a simulation run (given the
+code version): protocol, workload, traffic matrix, load, topology,
+scale knobs and seed.  :func:`repro.experiments.runner.run_experiment`
+turns one into an :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional
+
+from repro.metrics.drops import DropStats
+from repro.metrics.records import FlowRecord
+from repro.metrics.slowdown import (
+    deadline_met_fraction,
+    mean_slowdown,
+    nfct,
+    slowdown_percentile,
+    split_short_long,
+)
+from repro.metrics.stability import StabilitySample
+from repro.net.topology import TopologyConfig
+
+__all__ = ["ExperimentSpec", "ExperimentResult"]
+
+
+@dataclass
+class ExperimentSpec:
+    """One simulation run, fully specified.
+
+    Attributes:
+        protocol: "phost" | "pfabric" | "fastpass" (or any registered).
+        workload: "websearch" | "datamining" | "imc10" | "bimodal" |
+            "fixed:<bytes>".
+        load: Target network load (paper sweeps 0.5-0.8; default 0.6).
+        n_flows: Number of flows to generate.
+        traffic_matrix: "all_to_all" (default) or "permutation".
+        topology: Fabric dimensions; default is the paper's 144-host
+            two-tier tree.
+        buffer_bytes: Per-port buffer override (Figure 10 sweeps this).
+        max_flow_bytes: Truncate sampled flow sizes (scale knob for CI
+            runs; None = faithful distribution).
+        bimodal_fraction_short: Short-flow fraction for the bimodal
+            workload (Figure 8's x-axis).
+        with_deadlines: Assign exponential deadlines (Figure 5c).
+        deadline_mean: Mean deadline slack in seconds.
+        protocol_config: Optional protocol config override; objects with
+            a ``resolve(topology)`` method are resolved automatically.
+        tenant_split: If set (0..1), flows are assigned tenant 0/1 with
+            this probability of tenant 1 (Figure 11 uses explicit
+            per-tenant specs instead).
+        stability_samples: If > 0, sample the Fig. 7 stability curve
+            this many times over the run.
+        max_sim_time: Hard stop (simulated seconds) for runs in the
+            unstable regime; None derives a default of
+            ``time_guard_factor`` x the arrival window.
+        time_guard_factor: Multiplier for the derived time guard
+            (stability runs use a small factor so unstable runs end
+            promptly).
+        seed: RNG seed; everything is deterministic given it.
+        label: Free-form tag for reports.
+    """
+
+    protocol: str = "phost"
+    workload: str = "websearch"
+    load: float = 0.6
+    n_flows: int = 1000
+    traffic_matrix: str = "all_to_all"
+    topology: TopologyConfig = field(default_factory=TopologyConfig.paper)
+    buffer_bytes: Optional[int] = None
+    max_flow_bytes: Optional[int] = None
+    bimodal_fraction_short: float = 0.5
+    with_deadlines: bool = False
+    deadline_mean: float = 1000e-6
+    protocol_config: Any = None
+    tenant_split: Optional[float] = None
+    stability_samples: int = 0
+    max_sim_time: Optional[float] = None
+    time_guard_factor: float = 20.0
+    seed: int = 42
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.load <= 0:
+            raise ValueError("load must be positive")
+        if self.n_flows < 1:
+            raise ValueError("n_flows must be >= 1")
+        if self.traffic_matrix not in ("all_to_all", "permutation"):
+            raise ValueError("traffic_matrix must be 'all_to_all' or 'permutation'")
+        if self.tenant_split is not None and not 0.0 <= self.tenant_split <= 1.0:
+            raise ValueError("tenant_split must be in [0, 1]")
+
+    def with_topology_buffer(self) -> TopologyConfig:
+        """Topology with the buffer override applied."""
+        if self.buffer_bytes is None:
+            return self.topology
+        return replace(self.topology, buffer_bytes=self.buffer_bytes)
+
+    def variant(self, **changes) -> "ExperimentSpec":
+        """A copy with fields changed (sweep helper)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure driver needs from one run."""
+
+    spec: ExperimentSpec
+    records: List[FlowRecord]
+    drops: DropStats
+    duration: float
+    n_flows: int
+    n_completed: int
+    payload_bytes_delivered: int
+    data_pkts_injected: int
+    data_pkts_retransmitted: int
+    control_pkts_sent: int
+    control_bytes_sent: int
+    goodput_gbps_per_host: float
+    stability: List[StabilitySample] = field(default_factory=list)
+    events_processed: int = 0
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Metric shortcuts (all over completed flows)
+    # ------------------------------------------------------------------
+    @property
+    def completion_rate(self) -> float:
+        return self.n_completed / self.n_flows if self.n_flows else math.nan
+
+    def mean_slowdown(self) -> float:
+        return mean_slowdown(self.records)
+
+    def nfct(self) -> float:
+        return nfct(self.records)
+
+    def tail_slowdown(self, p: float = 99.0) -> float:
+        return slowdown_percentile(self.records, p)
+
+    def short_long_slowdown(self, threshold_bytes: int):
+        """(mean short, mean long) slowdowns under the Fig. 4 split."""
+        short, long_ = split_short_long(self.records, threshold_bytes)
+        return mean_slowdown(short), mean_slowdown(long_)
+
+    def short_records(self, threshold_bytes: int) -> List[FlowRecord]:
+        short, _ = split_short_long(self.records, threshold_bytes)
+        return short
+
+    def deadline_met_fraction(self) -> float:
+        return deadline_met_fraction(self.records)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.spec.protocol}/{self.spec.workload} load={self.spec.load:g}] "
+            f"slowdown={self.mean_slowdown():.3f} nfct={self.nfct():.3f} "
+            f"done={self.n_completed}/{self.n_flows} drops={self.drops.total_drops}"
+        )

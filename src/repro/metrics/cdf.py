@@ -1,0 +1,120 @@
+"""Empirical-distribution utilities for result analysis.
+
+Papers in this area present per-flow results as CDFs and size-binned
+series (e.g. slowdown vs flow size).  These helpers turn
+:class:`~repro.metrics.records.FlowRecord` lists into those shapes
+without pulling in a plotting stack — output is (x, y) pairs ready for
+any renderer, plus an ASCII sparkline for terminal inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.metrics.records import FlowRecord
+from repro.metrics.slowdown import mean_slowdown
+
+__all__ = [
+    "empirical_cdf",
+    "log_bins",
+    "slowdown_by_size",
+    "histogram",
+    "sparkline",
+]
+
+
+def empirical_cdf(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """(value, P(X <= value)) points of the sample CDF."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return []
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def log_bins(lo: float, hi: float, per_decade: int = 4) -> List[float]:
+    """Logarithmically spaced bin edges covering [lo, hi]."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    edges = []
+    step = 1.0 / per_decade
+    k = math.floor(math.log10(lo) / step) * step
+    while 10 ** k < hi * (1 + 1e-12):
+        edges.append(10 ** k)
+        k += step
+    edges.append(10 ** k)
+    return edges
+
+
+def slowdown_by_size(
+    records: Sequence[FlowRecord],
+    per_decade: int = 2,
+) -> List[Tuple[float, float, int]]:
+    """Mean slowdown per logarithmic flow-size bin.
+
+    Returns (bin upper edge in bytes, mean slowdown, flow count) for
+    non-empty bins — the classic per-size breakdown plot.
+    """
+    done = [r for r in records if r.completed]
+    if not done:
+        return []
+    sizes = [max(r.size_bytes, 1) for r in done]
+    edges = log_bins(min(sizes), max(sizes) + 1, per_decade)
+    out: List[Tuple[float, float, int]] = []
+    for lo, hi in zip(edges, edges[1:]):
+        bucket = [r for r in done if lo <= max(r.size_bytes, 1) < hi]
+        if bucket:
+            out.append((hi, mean_slowdown(bucket), len(bucket)))
+    return out
+
+
+def histogram(
+    values: Sequence[float],
+    edges: Sequence[float],
+) -> List[int]:
+    """Counts per [edges[i], edges[i+1]) bin; values outside are ignored."""
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    counts = [0] * (len(edges) - 1)
+    for v in values:
+        if v < edges[0] or v >= edges[-1]:
+            continue
+        # linear scan is fine for analysis-time code
+        for i in range(len(edges) - 1):
+            if edges[i] <= v < edges[i + 1]:
+                counts[i] += 1
+                break
+    return counts
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A terminal-friendly magnitude strip for quick inspection."""
+    if not values:
+        return ""
+    if width < 1:
+        raise ValueError("width must be positive")
+    # resample to the requested width
+    if len(values) > width:
+        chunk = len(values) / width
+        resampled = [
+            max(values[int(i * chunk): max(int((i + 1) * chunk), int(i * chunk) + 1)])
+            for i in range(width)
+        ]
+    else:
+        resampled = list(values)
+    hi = max(resampled)
+    lo = min(resampled)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[1] * len(resampled)
+    out = []
+    for v in resampled:
+        idx = int((v - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)

@@ -1,0 +1,141 @@
+"""In-simulation metrics collection.
+
+One :class:`MetricsCollector` per run.  Transport agents report events
+through it (flow completed, data packet injected/delivered, control
+packet sent, retransmission); the fabric reports drops directly into its
+own counters, which the experiment result merges with these.
+
+The collector also tracks the cumulative counters that the Figure 7
+stability analysis samples: packets *arrived* (offered by the workload)
+versus packets *injected* (transmitted at least once by a source).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net.packet import Flow, Packet
+from repro.sim.units import HEADER_BYTES
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Counters and completion recording for one simulation run."""
+
+    def __init__(self) -> None:
+        self.flows: Dict[int, Flow] = {}
+        self.completed_flows: List[Flow] = []
+        # Data-plane counters
+        self.data_pkts_injected = 0        # unique first transmissions at sources
+        self.data_pkts_retransmitted = 0
+        self.data_pkts_delivered = 0       # packets accepted at destinations (deduped)
+        self.payload_bytes_delivered = 0
+        self.delivered_bytes_by_tenant: Dict[int, int] = {}
+        self.control_pkts_sent = 0
+        self.control_bytes_sent = 0
+        # Workload counters (for stability analysis)
+        self.pkts_arrived = 0              # sum of n_pkts over arrived flows
+        self.total_pkts_offered = 0        # set by the runner up front
+        self.expected_flows: Optional[int] = None  # set by the runner up front
+        # Time bounds of the data plane (throughput window)
+        self.first_arrival: Optional[float] = None
+        self.last_completion: Optional[float] = None
+        # Optional hook fired on each completion (incast driver uses it)
+        self.on_complete: Optional[Callable[[Flow, float], None]] = None
+        # Optional observer receiving every event (see repro.trace);
+        # must expose flow_arrived/flow_completed/data_sent/
+        # data_delivered/control_sent.  None-guarded on the hot path.
+        self.observer = None
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+    def flow_arrived(self, flow: Flow, now: float) -> None:
+        self.flows[flow.fid] = flow
+        self.pkts_arrived += flow.n_pkts
+        if self.first_arrival is None or now < self.first_arrival:
+            self.first_arrival = now
+        if self.observer is not None:
+            self.observer.flow_arrived(flow, now)
+
+    def flow_completed(self, flow: Flow, now: float) -> None:
+        if flow.finish is not None:
+            return  # idempotent: duplicate ACK paths must not double count
+        flow.finish = now
+        self.completed_flows.append(flow)
+        self.payload_bytes_delivered += flow.size_bytes
+        if self.last_completion is None or now > self.last_completion:
+            self.last_completion = now
+        if self.observer is not None:
+            self.observer.flow_completed(flow, now)
+        if self.on_complete is not None:
+            self.on_complete(flow, now)
+
+    # ------------------------------------------------------------------
+    # Packet events
+    # ------------------------------------------------------------------
+    def data_sent(self, pkt: Packet, first_time: bool) -> None:
+        if first_time:
+            self.data_pkts_injected += 1
+        else:
+            self.data_pkts_retransmitted += 1
+        if self.observer is not None:
+            self.observer.data_sent(pkt, first_time)
+
+    def data_delivered(self, pkt: Packet) -> None:
+        self.data_pkts_delivered += 1
+        if pkt.flow is not None:
+            tenant = pkt.flow.tenant
+            payload = max(pkt.size - HEADER_BYTES, 0)
+            self.delivered_bytes_by_tenant[tenant] = (
+                self.delivered_bytes_by_tenant.get(tenant, 0) + payload
+            )
+        if self.observer is not None:
+            self.observer.data_delivered(pkt)
+
+    def control_sent(self, pkt: Packet) -> None:
+        self.control_pkts_sent += 1
+        self.control_bytes_sent += pkt.size
+        if self.observer is not None:
+            self.observer.control_sent(pkt)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed_flows)
+
+    @property
+    def all_complete(self) -> bool:
+        """True once every expected flow has completed.
+
+        ``expected_flows`` must be set by the driver; before any flow
+        arrives (or when unset) this is False — arrived-so-far counts
+        would otherwise declare victory after the first completion.
+        """
+        total = self.expected_flows if self.expected_flows is not None else None
+        if total is None:
+            return False
+        return self.n_completed >= total > 0
+
+    @property
+    def pkts_pending(self) -> int:
+        """Arrived-but-not-yet-injected packets (Fig. 7's y-axis)."""
+        return max(self.pkts_arrived - self.data_pkts_injected, 0)
+
+    def duration(self) -> float:
+        if self.first_arrival is None or self.last_completion is None:
+            return 0.0
+        return max(self.last_completion - self.first_arrival, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetricsCollector(flows={self.n_flows}, done={self.n_completed}, "
+            f"injected={self.data_pkts_injected}, delivered={self.data_pkts_delivered})"
+        )

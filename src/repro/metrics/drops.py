@@ -1,0 +1,61 @@
+"""Packet-drop accounting (Figures 5e and 5f).
+
+The fabric counts drops per hop (1 = host NIC, 2 = ToR up, 3 = core,
+4 = ToR down); :class:`DropStats` snapshots those counters together with
+the injection totals needed to express a drop *rate*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.topology import Fabric, HOP_NAMES
+
+__all__ = ["DropStats"]
+
+
+@dataclass(frozen=True)
+class DropStats:
+    """Immutable snapshot of drop counters at the end of a run."""
+
+    by_hop: Dict[int, int]
+    total_drops: int
+    pkts_injected: int
+    pkts_retransmitted: int
+
+    @classmethod
+    def from_run(cls, fabric: Fabric, collector: MetricsCollector) -> "DropStats":
+        return cls(
+            by_hop=dict(fabric.drops_by_hop),
+            total_drops=fabric.drops_total,
+            pkts_injected=collector.data_pkts_injected,
+            pkts_retransmitted=collector.data_pkts_retransmitted,
+        )
+
+    @property
+    def drop_rate(self) -> float:
+        """Drops / total packets injected (Fig. 5e's y-axis)."""
+        sent = self.pkts_injected + self.pkts_retransmitted
+        if sent <= 0:
+            return 0.0
+        return self.total_drops / sent
+
+    @property
+    def edge_drops(self) -> int:
+        """First + last hop drops (where pFabric concentrates losses)."""
+        return self.by_hop.get(1, 0) + self.by_hop.get(4, 0)
+
+    @property
+    def fabric_drops(self) -> int:
+        """Drops inside the fabric (hops 2 and 3)."""
+        return self.by_hop.get(2, 0) + self.by_hop.get(3, 0)
+
+    def rows(self):
+        """(hop name, count) rows in hop order, for reports."""
+        return [(HOP_NAMES[h], self.by_hop.get(h, 0)) for h in sorted(HOP_NAMES)]
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{name}={count}" for name, count in self.rows())
+        return f"DropStats(total={self.total_drops}, rate={self.drop_rate:.2e}, {parts})"

@@ -1,0 +1,113 @@
+"""Result export: per-flow records to CSV, experiment results to JSON.
+
+Archival counterpart to :mod:`repro.workloads.trace_io`: a saved trace
+plus saved records fully document an experiment.  The CSV schema is
+stable and spreadsheet-friendly::
+
+    fid,src,dst,size_bytes,n_pkts,tenant,arrival,finish,fct,opt,slowdown,deadline,met_deadline
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.metrics.records import FlowRecord
+
+__all__ = ["save_records", "load_records", "result_to_json"]
+
+_COLUMNS = [
+    "fid", "src", "dst", "size_bytes", "n_pkts", "tenant",
+    "arrival", "finish", "fct", "opt", "slowdown", "deadline", "met_deadline",
+]
+
+
+def save_records(records: Iterable[FlowRecord], path: Union[str, Path]) -> int:
+    """Write analysis records as CSV; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_COLUMNS)
+        for r in records:
+            writer.writerow([
+                r.fid, r.src, r.dst, r.size_bytes, r.n_pkts, r.tenant,
+                repr(r.arrival),
+                "" if r.finish is None else repr(r.finish),
+                "" if r.fct is None else repr(r.fct),
+                repr(r.opt),
+                "" if r.slowdown is None else repr(r.slowdown),
+                "" if r.deadline is None else repr(r.deadline),
+                "" if r.met_deadline is None else int(r.met_deadline),
+            ])
+            count += 1
+    return count
+
+
+def load_records(path: Union[str, Path]) -> List[FlowRecord]:
+    """Read records back (numeric fields only; derived ones recompute)."""
+    path = Path(path)
+    out: List[FlowRecord] = []
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or reader.fieldnames[:4] != _COLUMNS[:4]:
+            raise ValueError(f"{path}: not a records CSV (header mismatch)")
+        for row in reader:
+            out.append(
+                FlowRecord(
+                    fid=int(row["fid"]),
+                    src=int(row["src"]),
+                    dst=int(row["dst"]),
+                    size_bytes=int(row["size_bytes"]),
+                    n_pkts=int(row["n_pkts"]),
+                    tenant=int(row["tenant"]),
+                    arrival=float(row["arrival"]),
+                    finish=float(row["finish"]) if row["finish"] else None,
+                    opt=float(row["opt"]),
+                    deadline=float(row["deadline"]) if row["deadline"] else None,
+                )
+            )
+    return out
+
+
+def result_to_json(result, path: Union[str, Path]) -> Path:
+    """Dump an :class:`~repro.experiments.spec.ExperimentResult` summary
+    (spec + headline metrics, not per-flow data) as JSON."""
+    path = Path(path)
+    spec = result.spec
+    payload = {
+        "spec": {
+            "protocol": spec.protocol,
+            "workload": spec.workload,
+            "load": spec.load,
+            "n_flows": spec.n_flows,
+            "traffic_matrix": spec.traffic_matrix,
+            "seed": spec.seed,
+            "buffer_bytes": spec.buffer_bytes,
+            "max_flow_bytes": spec.max_flow_bytes,
+            "topology": {
+                "n_racks": spec.topology.n_racks,
+                "hosts_per_rack": spec.topology.hosts_per_rack,
+                "n_cores": spec.topology.n_cores,
+                "access_gbps": spec.topology.access_gbps,
+                "core_gbps": spec.topology.core_gbps,
+                "oversubscription": spec.topology.oversubscription,
+            },
+        },
+        "metrics": {
+            "n_completed": result.n_completed,
+            "mean_slowdown": result.mean_slowdown(),
+            "p99_slowdown": result.tail_slowdown(99),
+            "nfct": result.nfct(),
+            "goodput_gbps_per_host": result.goodput_gbps_per_host,
+            "drop_rate": result.drops.drop_rate,
+            "drops_by_hop": result.drops.by_hop,
+            "retransmissions": result.data_pkts_retransmitted,
+            "control_bytes": result.control_bytes_sent,
+            "duration_s": result.duration,
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

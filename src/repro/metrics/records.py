@@ -1,0 +1,86 @@
+"""Per-flow result records.
+
+A :class:`FlowRecord` is the analysis-ready, protocol-independent
+summary of one completed (or abandoned) flow.  Records are derived from
+:class:`repro.net.packet.Flow` objects once a run finishes, with OPT
+computed from the fabric under the same forwarding model as the
+simulation (see ``Fabric.opt_fct``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.net.packet import Flow
+from repro.net.topology import Fabric
+
+__all__ = ["FlowRecord", "records_from_flows"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One flow's outcome.
+
+    ``fct``/``slowdown`` are None for flows that never completed (a run
+    in the unstable regime may end with flows outstanding; analysis
+    functions treat those as missing, and report completion counts).
+    """
+
+    fid: int
+    src: int
+    dst: int
+    size_bytes: int
+    n_pkts: int
+    tenant: int
+    arrival: float
+    finish: Optional[float]
+    opt: float
+    deadline: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.finish is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        if self.finish is None:
+            return None
+        return self.finish - self.arrival
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        fct = self.fct
+        if fct is None:
+            return None
+        return fct / self.opt
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """True/False if a deadline was set; None when no deadline."""
+        if self.deadline is None:
+            return None
+        if self.finish is None:
+            return False
+        return self.finish <= self.deadline
+
+
+def records_from_flows(flows: Iterable[Flow], fabric: Fabric) -> List[FlowRecord]:
+    """Convert simulation flows into analysis records."""
+    out: List[FlowRecord] = []
+    for f in flows:
+        out.append(
+            FlowRecord(
+                fid=f.fid,
+                src=f.src,
+                dst=f.dst,
+                size_bytes=f.size_bytes,
+                n_pkts=f.n_pkts,
+                tenant=f.tenant,
+                arrival=f.arrival,
+                finish=f.finish,
+                opt=fabric.opt_fct(f.size_bytes, f.src, f.dst),
+                deadline=f.deadline,
+            )
+        )
+    return out

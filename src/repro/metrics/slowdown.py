@@ -1,0 +1,105 @@
+"""Slowdown-family analyses (paper §4.1 "Performance metrics").
+
+All functions take :class:`~repro.metrics.records.FlowRecord` lists.
+Flows that never completed are excluded from slowdown/FCT statistics
+(the caller should check completion rates separately; the runner
+reports them).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.records import FlowRecord
+
+__all__ = [
+    "completed",
+    "mean_slowdown",
+    "mean_fct",
+    "nfct",
+    "percentile",
+    "slowdown_percentile",
+    "split_short_long",
+    "deadline_met_fraction",
+]
+
+
+def completed(records: Iterable[FlowRecord]) -> List[FlowRecord]:
+    """Only the flows that finished."""
+    return [r for r in records if r.completed]
+
+
+def mean_slowdown(records: Iterable[FlowRecord]) -> float:
+    """Mean of per-flow slowdown (FCT / OPT) over completed flows."""
+    vals = [r.slowdown for r in records if r.completed]
+    if not vals:
+        return math.nan
+    return sum(vals) / len(vals)
+
+
+def mean_fct(records: Iterable[FlowRecord]) -> float:
+    vals = [r.fct for r in records if r.completed]
+    if not vals:
+        return math.nan
+    return sum(vals) / len(vals)
+
+
+def nfct(records: Iterable[FlowRecord]) -> float:
+    """Normalized FCT: mean(FCT) / mean(OPT) over completed flows.
+
+    Unlike mean slowdown this is dominated by long flows (paper §4.3).
+    """
+    done = completed(records)
+    if not done:
+        return math.nan
+    total_fct = sum(r.fct for r in done)
+    total_opt = sum(r.opt for r in done)
+    if total_opt <= 0:
+        return math.nan
+    return total_fct / total_opt
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile (p in [0, 100])."""
+    if not values:
+        return math.nan
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def slowdown_percentile(records: Iterable[FlowRecord], p: float) -> float:
+    """p-th percentile slowdown over completed flows (Fig. 5d uses 99)."""
+    vals = [r.slowdown for r in records if r.completed]
+    return percentile(vals, p)
+
+
+def split_short_long(
+    records: Iterable[FlowRecord],
+    threshold_bytes: int,
+) -> Tuple[List[FlowRecord], List[FlowRecord]]:
+    """Figure 4's split: flows > threshold are long, the rest short."""
+    short: List[FlowRecord] = []
+    long_: List[FlowRecord] = []
+    for r in records:
+        (long_ if r.size_bytes > threshold_bytes else short).append(r)
+    return short, long_
+
+
+def deadline_met_fraction(records: Iterable[FlowRecord]) -> float:
+    """Fraction of deadline-carrying flows that met their deadline."""
+    with_deadline = [r for r in records if r.deadline is not None]
+    if not with_deadline:
+        return math.nan
+    met = sum(1 for r in with_deadline if r.met_deadline)
+    return met / len(with_deadline)

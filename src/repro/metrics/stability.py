@@ -1,0 +1,109 @@
+"""Stability analysis (Figure 7).
+
+The paper diagnoses instability at high load by plotting, as the
+simulation progresses, the fraction of all packets that have *arrived*
+at sources (x) against the fraction that have arrived but have not yet
+been *injected* into the network (y).  A flat curve means sources keep
+up with the offered load; a rising curve means the backlog grows without
+bound and slowdown figures would be an artifact of run length.
+
+:class:`StabilityTracker` samples the collector's counters on a periodic
+timer while the simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import EventLoop
+
+__all__ = ["StabilitySample", "StabilityTracker", "samples_stable"]
+
+
+@dataclass(frozen=True)
+class StabilitySample:
+    """One point of the Fig. 7 curve."""
+
+    time: float
+    frac_arrived: float   # x-axis: packets arrived / total offered
+    frac_pending: float   # y-axis: (arrived - injected) / total offered
+
+
+class StabilityTracker:
+    """Samples arrival/injection counters on a fixed period."""
+
+    def __init__(
+        self,
+        env: EventLoop,
+        collector: MetricsCollector,
+        period: float,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.env = env
+        self.collector = collector
+        self.period = period
+        self.samples: List[StabilitySample] = []
+        self._timer: Optional[list] = None
+
+    def start(self) -> None:
+        self._timer = self.env.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        EventLoop.cancel(self._timer)
+        self._timer = None
+
+    def _tick(self) -> None:
+        self.sample()
+        self._timer = self.env.schedule(self.period, self._tick)
+
+    def sample(self) -> Optional[StabilitySample]:
+        total = self.collector.total_pkts_offered
+        if total <= 0:
+            return None
+        arrived = self.collector.pkts_arrived
+        pending = self.collector.pkts_pending
+        point = StabilitySample(
+            time=self.env.now,
+            frac_arrived=arrived / total,
+            frac_pending=pending / total,
+        )
+        self.samples.append(point)
+        return point
+
+    def is_stable(self, slope_tolerance: float = 0.05) -> bool:
+        """Heuristic verdict from the samples: is the pending backlog
+        ~flat while load is being offered?
+
+        Only the *arrival phase* counts (frac_arrived < 1): once
+        arrivals stop, any backlog drains and would mask instability.
+        The verdict compares mean pending in the last third of the
+        arrival phase against the first third; a rise above
+        ``slope_tolerance`` flags instability — the paper's criterion
+        that "the fraction of pending packets would remain roughly
+        constant" in a stable network.
+        """
+        return samples_stable(self.samples, slope_tolerance)
+
+
+def samples_stable(samples, slope_tolerance: float = 0.05) -> bool:
+    """Stability verdict over a list of :class:`StabilitySample`.
+
+    Compares the mean pending fraction in the *middle* third of the
+    arrival phase against the *final* third: the first third is the
+    ramp-up transient (the backlog grows from zero toward its working
+    level even in a perfectly stable system), and the post-arrival
+    samples are the drain.  A stable system is flat between the middle
+    and the end; an unstable one keeps climbing.
+    """
+    phase = [s for s in samples if s.frac_arrived < 0.999]
+    if len(phase) < 6:
+        return True
+    third = max(len(phase) // 3, 1)
+    middle = phase[third: 2 * third]
+    tail = phase[-third:]
+    middle_mean = sum(s.frac_pending for s in middle) / len(middle)
+    tail_mean = sum(s.frac_pending for s in tail) / len(tail)
+    return (tail_mean - middle_mean) <= slope_tolerance

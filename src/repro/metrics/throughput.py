@@ -1,0 +1,39 @@
+"""Throughput metrics (Figure 5b).
+
+The paper measures "the number of bytes delivered to receivers through
+the network over unit time normalized by the access link bandwidth".
+We report the average per-host goodput in Gbps over the active window
+(first arrival to last completion); dividing by the access rate gives
+the normalized form.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collector import MetricsCollector
+
+__all__ = ["per_host_goodput_gbps", "normalized_throughput"]
+
+
+def per_host_goodput_gbps(
+    collector: MetricsCollector,
+    n_hosts: int,
+    duration: float = 0.0,
+) -> float:
+    """Average payload Gbps delivered per host over the run."""
+    window = duration if duration > 0 else collector.duration()
+    if window <= 0 or n_hosts <= 0:
+        return 0.0
+    bits = collector.payload_bytes_delivered * 8.0
+    return bits / window / n_hosts / 1e9
+
+
+def normalized_throughput(
+    collector: MetricsCollector,
+    n_hosts: int,
+    access_bps: float,
+    duration: float = 0.0,
+) -> float:
+    """Goodput as a fraction of aggregate access bandwidth (~ load when
+    the system keeps up)."""
+    gbps_per_host = per_host_goodput_gbps(collector, n_hosts, duration)
+    return gbps_per_host * 1e9 / access_bps

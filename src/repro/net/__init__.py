@@ -1,0 +1,40 @@
+"""Network fabric substrate (S2-S4).
+
+Models the paper's commodity datacenter fabric: a two-tier multi-rooted
+tree of output-queued switches with small per-port buffers, a few strict
+priority levels, per-packet spraying across uplinks, and 10/40 Gbps
+links with 200 ns propagation delay.
+
+Key pieces:
+
+* :mod:`repro.net.packet` — the packet and flow records.
+* :mod:`repro.net.queues` — commodity strict-priority drop-tail queues
+  and the pFabric priority-drop queue.
+* :mod:`repro.net.port` — an output port: queue + transmitter + link.
+* :mod:`repro.net.switch` / :mod:`repro.net.node` — switches and hosts.
+* :mod:`repro.net.topology` — builds the fabric and computes ideal FCTs.
+"""
+
+from repro.net.packet import Flow, Packet, PacketType
+from repro.net.queues import PFabricQueue, PriorityQueue
+from repro.net.port import Port
+from repro.net.node import Host, Node
+from repro.net.switch import Switch
+from repro.net.topology import Fabric, TopologyConfig
+from repro.net.fattree import FatTreeConfig, FatTreeFabric
+
+__all__ = [
+    "Flow",
+    "Packet",
+    "PacketType",
+    "PriorityQueue",
+    "PFabricQueue",
+    "Port",
+    "Node",
+    "Host",
+    "Switch",
+    "Fabric",
+    "TopologyConfig",
+    "FatTreeConfig",
+    "FatTreeFabric",
+]

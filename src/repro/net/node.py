@@ -1,0 +1,61 @@
+"""Fabric nodes: the common base and end hosts.
+
+A :class:`Host` owns one uplink :class:`~repro.net.port.Port` toward its
+top-of-rack switch and delegates received packets to the transport agent
+installed on it.  Hop accounting: a host's NIC egress is hop 1 in the
+paper's Figure 5(f) taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.net.port import Port
+
+__all__ = ["Node", "Host"]
+
+
+class Node:
+    """Anything that can terminate a link."""
+
+    __slots__ = ("node_id", "name")
+
+    def __init__(self, node_id: int, name: str = "") -> None:
+        self.node_id = node_id
+        self.name = name or f"node{node_id}"
+
+    def receive(self, pkt: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class Host(Node):
+    """An end host: NIC port + a pluggable transport agent."""
+
+    __slots__ = ("port", "agent", "rack")
+
+    def __init__(self, node_id: int, rack: int, port: Port) -> None:
+        super().__init__(node_id, name=f"h{node_id}")
+        self.rack = rack
+        self.port = port
+        self.agent = None  # set by the experiment runner
+
+    def install_agent(self, agent) -> None:
+        """Attach a transport agent; wires up the NIC pull source."""
+        self.agent = agent
+        pull = getattr(agent, "nic_pull", None)
+        if pull is not None:
+            self.port.pull_source = pull
+
+    def receive(self, pkt: Packet) -> None:
+        agent = self.agent
+        if agent is None:
+            raise RuntimeError(f"{self.name}: packet arrived but no agent installed")
+        agent.on_packet(pkt)
+
+    def send(self, pkt: Packet) -> None:
+        """Push a packet into the NIC egress queue."""
+        self.port.send(pkt)

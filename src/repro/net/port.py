@@ -1,0 +1,135 @@
+"""Output ports: queue + serializer + link.
+
+A :class:`Port` owns one egress queue and models serialization at the
+link rate followed by propagation to the connected receiver.  Two entry
+paths exist:
+
+* ``send(pkt)`` — push-based: the packet goes through the queue (and may
+  be dropped there).  Switches and push-based transports (pFabric) use
+  this.
+* a *pull source* — when the port goes idle and its queue is empty it
+  asks ``pull_source()`` for the next packet.  pHost and Fastpass
+  sources use this so the host picks what to send per packet at line
+  rate instead of building a standing NIC queue (the receiver-driven
+  model of the paper).
+
+Control packets pushed into the queue always win over pulled data
+because the queue is drained first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import EventLoop
+
+__all__ = ["Port"]
+
+DropCallback = Callable[[Packet, int], None]
+PullSource = Callable[[], Optional[Packet]]
+
+
+class Port:
+    """One egress port of a host NIC or switch."""
+
+    __slots__ = (
+        "env",
+        "rate_bps",
+        "prop_delay",
+        "queue",
+        "name",
+        "hop_index",
+        "peer",
+        "busy",
+        "on_drop",
+        "pull_source",
+        "bytes_sent",
+        "pkts_sent",
+    )
+
+    def __init__(
+        self,
+        env: EventLoop,
+        rate_bps: float,
+        prop_delay: float,
+        queue,
+        name: str = "",
+        hop_index: int = 0,
+        on_drop: Optional[DropCallback] = None,
+    ) -> None:
+        self.env = env
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.queue = queue
+        self.name = name
+        self.hop_index = hop_index
+        self.peer = None  # object exposing .receive(pkt)
+        self.busy = False
+        self.on_drop = on_drop
+        self.pull_source: Optional[PullSource] = None
+        self.bytes_sent = 0
+        self.pkts_sent = 0
+
+    def connect(self, peer) -> None:
+        """Attach the receiving end of this port's link."""
+        self.peer = peer
+
+    # ------------------------------------------------------------------
+    # Push path
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> None:
+        """Enqueue a packet for transmission (may drop at the queue)."""
+        if self.busy:
+            dropped = self.queue.push(pkt)
+            if dropped and self.on_drop is not None:
+                for victim in dropped:
+                    self.on_drop(victim, self.hop_index)
+            return
+        # Idle port: if the queue is somehow non-empty (race with pull),
+        # keep FIFO semantics by going through it.
+        dropped = self.queue.push(pkt)
+        if dropped and self.on_drop is not None:
+            for victim in dropped:
+                self.on_drop(victim, self.hop_index)
+        self._start_next()
+
+    # ------------------------------------------------------------------
+    # Pull path
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Notify the port that new work may be available.
+
+        Harmless if the port is busy; it re-checks on completion anyway.
+        """
+        if not self.busy:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    # Transmit machinery
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        pkt = self.queue.pop()
+        if pkt is None and self.pull_source is not None:
+            pkt = self.pull_source()
+        if pkt is None:
+            return
+        self.busy = True
+        tx = pkt.size * 8.0 / self.rate_bps
+        self.env.schedule(tx, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.bytes_sent += pkt.size
+        self.pkts_sent += 1
+        peer = self.peer
+        if peer is not None:
+            self.env.schedule(self.prop_delay, peer.receive, pkt)
+        self.busy = False
+        self._start_next()
+
+    def queued_packets(self) -> int:
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "busy" if self.busy else "idle"
+        return f"Port({self.name}, {state}, queued={len(self.queue)})"

@@ -1,0 +1,184 @@
+"""Per-port packet queues.
+
+Two queue disciplines cover everything in the paper:
+
+* :class:`PriorityQueue` — the commodity switch queue pHost and Fastpass
+  assume: a handful of strict-priority FIFO bands sharing one small byte
+  buffer, drop-tail on overflow.  ("they do provide some basic features:
+  a few priority levels (typically 8-10)" — paper §2.1.)
+* :class:`PFabricQueue` — pFabric's specialized queue: packets carry a
+  `remaining` priority value (remaining un-ACKed packets of the flow);
+  on overflow the *lowest-priority* (largest ``remaining``) packet in
+  the buffer is evicted; dequeue picks the oldest packet of the flow
+  with the most urgent packet (the starvation-avoidance rule from
+  pFabric §3 / the footnote of the pHost paper).
+
+Both scans in PFabricQueue are O(n), which is fine because the whole
+point of pFabric is that buffers are tiny (36 kB ~ 24 packets).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.net.packet import Packet
+
+__all__ = ["PriorityQueue", "PFabricQueue", "QueueFullError"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised only by strict APIs in tests; data-path drops are returns."""
+
+
+class PriorityQueue:
+    """Strict-priority multi-band FIFO with a shared byte budget.
+
+    ``push`` returns the list of dropped packets (the incoming packet,
+    drop-tail, possibly empty), ``pop`` returns the next packet to
+    serialize or None.
+    """
+
+    __slots__ = ("capacity_bytes", "bands", "bytes_queued", "_n_bands")
+
+    def __init__(self, capacity_bytes: int, n_bands: int = 8) -> None:
+        if n_bands < 1:
+            raise ValueError("need at least one priority band")
+        self.capacity_bytes = capacity_bytes
+        self._n_bands = n_bands
+        self.bands: List[Deque[Packet]] = [deque() for _ in range(n_bands)]
+        self.bytes_queued = 0
+
+    @property
+    def n_bands(self) -> int:
+        return self._n_bands
+
+    def push(self, pkt: Packet) -> List[Packet]:
+        """Enqueue; returns dropped packets (drop-tail: incoming only)."""
+        if self.bytes_queued + pkt.size > self.capacity_bytes:
+            return [pkt]
+        band = pkt.priority
+        if band < 0:
+            band = 0
+        elif band >= self._n_bands:
+            band = self._n_bands - 1
+        self.bands[band].append(pkt)
+        self.bytes_queued += pkt.size
+        return []
+
+    def pop(self) -> Optional[Packet]:
+        for band in self.bands:
+            if band:
+                pkt = band.popleft()
+                self.bytes_queued -= pkt.size
+                return pkt
+        return None
+
+    def peek(self) -> Optional[Packet]:
+        for band in self.bands:
+            if band:
+                return band[0]
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(band) for band in self.bands)
+
+    def __bool__(self) -> bool:
+        return any(self.bands)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PriorityQueue({self.bytes_queued}/{self.capacity_bytes}B, "
+            f"{len(self)} pkts)"
+        )
+
+
+class PFabricQueue:
+    """pFabric's priority-drop / priority-dequeue queue.
+
+    Priority of a packet is its ``remaining`` field (fewer remaining
+    un-ACKed packets = more urgent).  Control/ACK packets are stamped
+    ``remaining = 0`` by the pFabric agent, so they are effectively
+    never dropped — mirroring pFabric's high-priority ACKs.
+
+    Dequeue implements the starvation-avoidance rule: find the packet
+    with the minimum ``remaining`` value, then transmit the *earliest
+    arrived* packet belonging to that packet's flow (which may be a
+    different, older packet stamped with a larger remaining value).
+    """
+
+    __slots__ = ("capacity_bytes", "pkts", "bytes_queued", "_arrival_seq", "_stamps")
+
+    def __init__(self, capacity_bytes: int, n_bands: int = 8) -> None:
+        # n_bands accepted (and ignored) so both queue types share a factory
+        # signature.
+        self.capacity_bytes = capacity_bytes
+        self.pkts: List[Packet] = []
+        self.bytes_queued = 0
+        self._arrival_seq = 0
+        self._stamps: List[int] = []  # arrival order, parallel to pkts
+
+    def push(self, pkt: Packet) -> List[Packet]:
+        """Enqueue with priority-aware eviction; returns dropped packets."""
+        dropped: List[Packet] = []
+        self._arrival_seq += 1
+        self.pkts.append(pkt)
+        self._stamps.append(self._arrival_seq)
+        self.bytes_queued += pkt.size
+        while self.bytes_queued > self.capacity_bytes and self.pkts:
+            victim_idx = self._worst_index()
+            victim = self.pkts.pop(victim_idx)
+            self._stamps.pop(victim_idx)
+            self.bytes_queued -= victim.size
+            dropped.append(victim)
+        return dropped
+
+    def _worst_index(self) -> int:
+        """Index of the least-urgent packet (largest remaining; ties:
+        most recently arrived, so older packets survive)."""
+        worst = 0
+        worst_key = (self.pkts[0].remaining, self._stamps[0])
+        for i in range(1, len(self.pkts)):
+            key = (self.pkts[i].remaining, self._stamps[i])
+            if key > worst_key:
+                worst_key = key
+                worst = i
+        return worst
+
+    def pop(self) -> Optional[Packet]:
+        if not self.pkts:
+            return None
+        pkts = self.pkts
+        # 1. most urgent packet
+        best = 0
+        best_key = (pkts[0].remaining, self._stamps[0])
+        for i in range(1, len(pkts)):
+            key = (pkts[i].remaining, self._stamps[i])
+            if key < best_key:
+                best_key = key
+                best = i
+        urgent = pkts[best]
+        # 2. earliest queued packet of that packet's flow
+        flow = urgent.flow
+        chosen = best
+        if flow is not None:
+            for i, p in enumerate(pkts):
+                if p.flow is flow:
+                    chosen = i
+                    break
+        pkt = pkts.pop(chosen)
+        self._stamps.pop(chosen)
+        self.bytes_queued -= pkt.size
+        return pkt
+
+    def peek(self) -> Optional[Packet]:
+        return self.pkts[0] if self.pkts else None
+
+    def __len__(self) -> int:
+        return len(self.pkts)
+
+    def __bool__(self) -> bool:
+        return bool(self.pkts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PFabricQueue({self.bytes_queued}/{self.capacity_bytes}B, {len(self.pkts)} pkts)"

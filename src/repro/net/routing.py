@@ -1,0 +1,66 @@
+"""Routing and load-balancing policies for the two-tier fabric.
+
+The paper relies on *packet spraying*: each packet of an inter-rack flow
+is sent to a core switch chosen uniformly at random, which (together
+with full bisection bandwidth) removes essentially all congestion from
+the core (§2.3).  We also provide per-flow ECMP as an ablation, since
+the paper cites both options as commodity features.
+
+These functions build routing closures for :class:`repro.net.switch.Switch`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.net.packet import Packet
+from repro.net.port import Port
+from repro.sim.randoms import SeededRng
+
+__all__ = ["make_tor_route", "make_core_route", "SPRAY", "ECMP"]
+
+SPRAY = "spray"
+ECMP = "ecmp"
+
+
+def make_tor_route(
+    down_ports: Dict[int, Port],
+    up_ports: List[Port],
+    rack_of: Callable[[int], int],
+    rack_id: int,
+    rng: SeededRng,
+    mode: str = SPRAY,
+) -> Callable[[Packet], Port]:
+    """Routing closure for a top-of-rack switch.
+
+    Local destinations go straight down; remote ones go up via spraying
+    (uniform per-packet) or ECMP (hash of flow id, per-flow stable).
+    """
+    n_up = len(up_ports)
+    if mode not in (SPRAY, ECMP):
+        raise ValueError(f"unknown load-balancing mode: {mode}")
+
+    def route(pkt: Packet) -> Port:
+        dst = pkt.dst
+        if rack_of(dst) == rack_id:
+            return down_ports[dst]
+        if n_up == 1:
+            return up_ports[0]
+        if mode == SPRAY:
+            return up_ports[rng.randrange(n_up)]
+        fid = pkt.flow.fid if pkt.flow is not None else pkt.seq
+        return up_ports[hash(fid) % n_up]
+
+    return route
+
+
+def make_core_route(
+    rack_ports: List[Port],
+    rack_of: Callable[[int], int],
+) -> Callable[[Packet], Port]:
+    """Routing closure for a core switch: one port per rack, downhill only."""
+
+    def route(pkt: Packet) -> Port:
+        return rack_ports[rack_of(pkt.dst)]
+
+    return route

@@ -1,0 +1,17 @@
+"""Transport protocols.
+
+* :mod:`repro.protocols.base` — the agent interface every transport
+  implements and the per-protocol wiring description.
+* :mod:`repro.protocols.registry` — name -> protocol lookup used by the
+  experiment runner ("phost", "pfabric", "fastpass").
+* :mod:`repro.protocols.pfabric` / :mod:`repro.protocols.fastpass` — the
+  two baselines the paper compares against.
+
+pHost itself lives in :mod:`repro.core` (it is the paper's primary
+contribution) and registers here like the baselines.
+"""
+
+from repro.protocols.base import ProtocolSpec, TransportAgent
+from repro.protocols.registry import available_protocols, get_protocol
+
+__all__ = ["TransportAgent", "ProtocolSpec", "get_protocol", "available_protocols"]

@@ -1,0 +1,102 @@
+"""Transport-agent interface and protocol wiring description.
+
+Each host runs one :class:`TransportAgent` that plays *both* roles —
+source for the host's outgoing flows and destination for incoming ones
+(the default traffic matrix is all-to-all, so every host does both).
+
+A :class:`ProtocolSpec` tells the experiment runner how to assemble a
+protocol: which queue discipline switches and NICs use, how to build the
+shared context (Fastpass's arbiter), and how to build per-host agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.net.node import Host
+from repro.net.packet import Flow, Packet
+from repro.net.queues import PFabricQueue, PriorityQueue
+from repro.net.topology import Fabric
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import EventLoop
+
+__all__ = ["TransportAgent", "ProtocolSpec", "priority_queue_factory", "pfabric_queue_factory"]
+
+
+def priority_queue_factory(capacity_bytes: int) -> PriorityQueue:
+    """Commodity strict-priority queue (pHost, Fastpass)."""
+    return PriorityQueue(capacity_bytes)
+
+
+def pfabric_queue_factory(capacity_bytes: int) -> PFabricQueue:
+    """pFabric's specialized priority-drop queue."""
+    return PFabricQueue(capacity_bytes)
+
+
+class TransportAgent:
+    """Per-host protocol endpoint.
+
+    Subclasses implement :meth:`start_flow` (source side, called when a
+    flow arrives at this host), :meth:`on_packet` (anything delivered to
+    this host) and optionally :meth:`nic_pull` (give the NIC the next
+    data packet when it goes idle — the receiver-driven transports use
+    this; push-based pFabric does not override it).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        env: EventLoop,
+        fabric: Fabric,
+        collector: MetricsCollector,
+        config: Any,
+        shared: Any = None,
+    ) -> None:
+        self.host = host
+        self.env = env
+        self.fabric = fabric
+        self.collector = collector
+        self.config = config
+        self.shared = shared
+
+    # -- source side ----------------------------------------------------
+    def start_flow(self, flow: Flow) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- receive side ---------------------------------------------------
+    def on_packet(self, pkt: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- NIC integration --------------------------------------------------
+    # Subclasses using the pull path assign a callable; the Host install
+    # hook looks this attribute up.  None means push-only.
+    nic_pull: Optional[Callable[[], Optional[Packet]]] = None
+
+
+AgentFactory = Callable[[Host, EventLoop, Fabric, MetricsCollector, Any, Any], TransportAgent]
+SharedFactory = Callable[[EventLoop, Fabric, MetricsCollector, Any], Any]
+QueueFactory = Callable[[int], Any]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything the runner needs to instantiate a protocol."""
+
+    name: str
+    agent_factory: AgentFactory
+    config_factory: Callable[[Fabric], Any]
+    switch_queue_factory: QueueFactory = priority_queue_factory
+    host_queue_factory: QueueFactory = priority_queue_factory
+    shared_factory: Optional[SharedFactory] = None
+
+    def build_shared(
+        self,
+        env: EventLoop,
+        fabric: Fabric,
+        collector: MetricsCollector,
+        config: Any,
+    ) -> Any:
+        if self.shared_factory is None:
+            return None
+        return self.shared_factory(env, fabric, collector, config)

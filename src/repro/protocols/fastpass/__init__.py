@@ -1,0 +1,16 @@
+"""Fastpass baseline (S7).
+
+Fastpass (SIGCOMM 2014) keeps the fabric commodity and moves all
+scheduling into a centralized *arbiter* that allocates timeslots to
+(source, destination) pairs.  Following the pHost paper's evaluation
+model: 40-byte control messages, an epoch of 8 MTU timeslots, zero
+arbiter processing time, and perfect time synchronization — the
+best case for Fastpass.  Control messages travel an out-of-band channel
+with fabric-equivalent latency (DESIGN.md §2 records this).
+"""
+
+from repro.protocols.fastpass.config import FastpassConfig
+from repro.protocols.fastpass.arbiter import FastpassArbiter
+from repro.protocols.fastpass.agent import FastpassAgent, FASTPASS_SPEC
+
+__all__ = ["FastpassConfig", "FastpassArbiter", "FastpassAgent", "FASTPASS_SPEC"]

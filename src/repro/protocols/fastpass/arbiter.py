@@ -1,0 +1,167 @@
+"""The Fastpass centralized arbiter.
+
+Time is slotted (one MTU transmission time per slot) and grouped into
+epochs of ``epoch_pkts`` slots.  Just before each epoch begins —
+exactly ``ctrl_latency`` early, so allocations reach the hosts at the
+epoch boundary under perfect sync — the arbiter allocates each slot with
+a greedy bipartite matching over the pending demands: flows are
+considered in SRPT order (fewest remaining MTUs first) and a flow wins a
+slot if both its source and its destination are still free in that slot.
+A source therefore transmits at most one packet per slot and a
+destination receives at most one — Fastpass's "zero queue" property.
+
+Demands arrive via :meth:`request` (scheduled by agents ``ctrl_latency``
+after they send the request).  The arbiter idles when no demand is
+outstanding and wakes on the next request, so simulations drain
+naturally.
+
+Per the paper, arbiter processing time is zero and control messages are
+40 bytes (counted in the collector's control totals, but carried
+out-of-band — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import Flow
+from repro.net.topology import Fabric
+from repro.protocols.fastpass.config import FastpassConfig
+from repro.sim.engine import EventLoop
+from repro.sim.units import CONTROL_BYTES
+
+__all__ = ["FastpassArbiter"]
+
+
+class _ArbiterFlow:
+    """Arbiter-side demand record for one flow."""
+
+    __slots__ = ("flow", "remaining", "first_seen")
+
+    def __init__(self, flow: Flow, first_seen: float) -> None:
+        self.flow = flow
+        self.remaining = 0
+        self.first_seen = first_seen
+
+
+class FastpassArbiter:
+    """Global scheduler shared by all Fastpass agents."""
+
+    def __init__(
+        self,
+        env: EventLoop,
+        fabric: Fabric,
+        collector: MetricsCollector,
+        config: FastpassConfig,
+    ) -> None:
+        if config.epoch_time <= 0:
+            raise ValueError("config must be resolved against a topology first")
+        self.env = env
+        self.fabric = fabric
+        self.collector = collector
+        self.config = config
+        self.agents: Dict[int, object] = {}  # host id -> FastpassAgent
+        self.demands: Dict[int, _ArbiterFlow] = {}
+        self.requests_received = 0
+        self.schedules_sent = 0
+        self.slots_allocated = 0
+        self._compute_timer: Optional[list] = None
+        self._last_epoch_index = -1  # highest epoch already allocated
+
+    def register_agent(self, host_id: int, agent) -> None:
+        self.agents[host_id] = agent
+
+    # ------------------------------------------------------------------
+    # Demand intake (arrives ctrl_latency after the host sent it)
+    # ------------------------------------------------------------------
+    def request(self, flow: Flow, demand_pkts: int) -> None:
+        if demand_pkts <= 0:
+            return
+        self.requests_received += 1
+        self.collector.control_bytes_sent += CONTROL_BYTES
+        record = self.demands.get(flow.fid)
+        if record is None:
+            record = _ArbiterFlow(flow, self.env.now)
+            self.demands[flow.fid] = record
+        record.remaining += demand_pkts
+        self._schedule_next_compute()
+
+    # ------------------------------------------------------------------
+    # Epoch machinery
+    # ------------------------------------------------------------------
+    def _epoch_index_after(self, t: float) -> int:
+        """Index of the first epoch whose start is at or after time t."""
+        return max(math.ceil(t / self.config.epoch_time - 1e-9), 0)
+
+    def _schedule_next_compute(self) -> None:
+        if self._compute_timer is not None and EventLoop.is_pending(self._compute_timer):
+            return
+        if not any(r.remaining > 0 for r in self.demands.values()):
+            return
+        now = self.env.now
+        # Allocations for epoch k are computed at k*epoch - ctrl_latency.
+        k = self._epoch_index_after(now + self.config.ctrl_latency)
+        if k <= self._last_epoch_index:
+            k = self._last_epoch_index + 1
+        compute_at = k * self.config.epoch_time - self.config.ctrl_latency
+        if compute_at < now:  # numerical guard
+            compute_at = now
+        self._compute_timer = self.env.schedule_at(compute_at, self._compute_epoch, k)
+
+    def _compute_epoch(self, epoch_index: int) -> None:
+        self._compute_timer = None
+        if epoch_index <= self._last_epoch_index:
+            # A same-timestamp race between request() and the pending
+            # compute timer can schedule one epoch twice; allocate once.
+            self._schedule_next_compute()
+            return
+        self._last_epoch_index = epoch_index
+        epoch_start = epoch_index * self.config.epoch_time
+        cfg = self.config
+        active = [r for r in self.demands.values() if r.remaining > 0]
+        per_src: Dict[int, List[Tuple[float, Flow]]] = {}
+        if active:
+            for slot in range(cfg.epoch_pkts):
+                slot_time = epoch_start + slot * cfg.slot_time
+                if cfg.allocation_policy == "srpt":
+                    active.sort(key=lambda r: (r.remaining, r.first_seen, r.flow.fid))
+                else:  # fifo
+                    active.sort(key=lambda r: (r.first_seen, r.flow.fid))
+                src_used = set()
+                dst_used = set()
+                for record in active:
+                    if record.remaining <= 0:
+                        continue
+                    flow = record.flow
+                    if flow.src in src_used or flow.dst in dst_used:
+                        continue
+                    src_used.add(flow.src)
+                    dst_used.add(flow.dst)
+                    record.remaining -= 1
+                    self.slots_allocated += 1
+                    per_src.setdefault(flow.src, []).append((slot_time, flow))
+            # prune satisfied demands
+            for record in list(self.demands.values()):
+                if record.remaining <= 0:
+                    del self.demands[record.flow.fid]
+        # Deliver schedules: they land exactly at the epoch boundary.
+        for src, allocs in per_src.items():
+            agent = self.agents.get(src)
+            if agent is None:  # pragma: no cover - config error
+                raise RuntimeError(f"no Fastpass agent registered for host {src}")
+            self.schedules_sent += 1
+            self.collector.control_bytes_sent += CONTROL_BYTES
+            self.env.schedule_at(epoch_start, agent.on_schedule, allocs)
+        self._schedule_next_compute()
+
+    # ------------------------------------------------------------------
+    def pending_demand_pkts(self) -> int:
+        return sum(r.remaining for r in self.demands.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FastpassArbiter(demands={len(self.demands)}, "
+            f"slots={self.slots_allocated}, reqs={self.requests_received})"
+        )

@@ -1,0 +1,65 @@
+"""Fastpass configuration (paper §4.1: "40B control packets and an epoch
+size of 8 packets", zero scheduler processing time, perfect sync)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.net.topology import TopologyConfig
+from repro.sim.units import CONTROL_BYTES, usec
+
+__all__ = ["FastpassConfig"]
+
+
+@dataclass
+class FastpassConfig:
+    """Tunables of the Fastpass model.
+
+    Attributes:
+        epoch_pkts: Timeslots per scheduling epoch (paper: 8).
+        control_latency: One-way latency of arbiter control messages.
+            ``None`` derives it from the topology: a worst-case 4-hop
+            traversal of one 40 B packet (serialization + propagation).
+        rto: Source-side timeout for re-requesting lost packets.
+        allocation_policy: "srpt" (fewest remaining MTUs first — matches
+            the FCT-minimizing comparison of the paper) or "fifo".
+    """
+
+    epoch_pkts: int = 8
+    control_latency: Optional[float] = None
+    rto: float = usec(45)
+    allocation_policy: str = "srpt"
+
+    # Resolved fields (absolute seconds), set by resolve().
+    slot_time: float = 0.0
+    epoch_time: float = 0.0
+    ctrl_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epoch_pkts < 1:
+            raise ValueError("epoch_pkts must be >= 1")
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.allocation_policy not in ("srpt", "fifo"):
+            raise ValueError("allocation_policy must be 'srpt' or 'fifo'")
+
+    def resolve(self, topo: TopologyConfig) -> "FastpassConfig":
+        """Bind epoch/slot/control times to a concrete topology."""
+        slot = topo.mtu_tx_time
+        if self.control_latency is not None:
+            ctrl = self.control_latency
+        else:
+            bits = CONTROL_BYTES * 8.0
+            rates = [topo.access_bps, topo.core_bps, topo.core_bps, topo.access_bps]
+            ctrl = sum(bits / r for r in rates) + topo.propagation_delay * len(rates)
+        return replace(
+            self,
+            slot_time=slot,
+            epoch_time=self.epoch_pkts * slot,
+            ctrl_latency=ctrl,
+        )
+
+    @classmethod
+    def paper_default(cls) -> "FastpassConfig":
+        return cls()

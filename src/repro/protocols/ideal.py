@@ -1,0 +1,49 @@
+"""An idealized centrally-scheduled transport (upper-bound baseline).
+
+Not part of the paper's comparison, but invaluable for analysis: the
+same arbiter machinery as Fastpass with **per-slot scheduling**
+(epoch = 1 MTU time) and **zero control latency**.  Every overhead the
+pHost paper attributes to Fastpass — the epoch wait and the signaling
+round trip — is removed, leaving only unavoidable serialization and
+matching imperfection.
+
+This gives the repository a decomposition experiment
+(``benchmarks/test_ablation_fastpass.py``): the gap
+
+    fastpass  ->  fastpass(epoch=1)  ->  ideal(epoch=1, ctrl=0)
+
+separates the epoch-granularity penalty from the signaling penalty,
+quantifying §5's claim that Fastpass's short-flow problem is exactly
+"an epoch plus a round trip".
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolSpec, priority_queue_factory
+from repro.protocols.fastpass.agent import (
+    FastpassAgent,
+    _fastpass_agent_factory,
+    _fastpass_shared_factory,
+)
+from repro.protocols.fastpass.config import FastpassConfig
+
+__all__ = ["ideal_config", "IDEAL_SPEC"]
+
+
+def ideal_config(fabric) -> FastpassConfig:
+    """Per-slot scheduling, instantaneous control plane."""
+    return FastpassConfig(
+        epoch_pkts=1,
+        control_latency=0.0,
+        allocation_policy="srpt",
+    ).resolve(fabric.config)
+
+
+IDEAL_SPEC = ProtocolSpec(
+    name="ideal",
+    agent_factory=_fastpass_agent_factory,
+    config_factory=ideal_config,
+    switch_queue_factory=priority_queue_factory,
+    host_queue_factory=priority_queue_factory,
+    shared_factory=_fastpass_shared_factory,
+)

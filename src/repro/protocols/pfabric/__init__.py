@@ -1,0 +1,14 @@
+"""pFabric baseline (S6).
+
+pFabric (SIGCOMM 2013) embeds the scheduling policy in the fabric:
+every data packet carries the flow's remaining un-ACKed size; switches
+keep tiny buffers, drop the least-urgent packet on overflow, and
+transmit the oldest packet of the most-urgent flow.  Rate control is
+minimal: a fixed window (initial cwnd 12) with a 45 us retransmission
+timeout, per the configuration the pHost paper evaluates.
+"""
+
+from repro.protocols.pfabric.config import PFabricConfig
+from repro.protocols.pfabric.agent import PFabricAgent, PFABRIC_SPEC
+
+__all__ = ["PFabricConfig", "PFabricAgent", "PFABRIC_SPEC"]

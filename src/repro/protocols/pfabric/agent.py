@@ -1,0 +1,300 @@
+"""pFabric endpoint.
+
+The transport half is deliberately simple — the clever part of pFabric
+lives in :class:`repro.net.queues.PFabricQueue` (priority drop and
+starvation-avoidance dequeue), which this agent relies on at every hop
+*including its own NIC*.  The endpoint:
+
+* pushes up to ``cwnd`` packets of each flow into the NIC queue, each
+  stamped with the flow's remaining un-ACKed packet count (the priority
+  the fabric schedules on — the paper's footnote 1);
+* receives a 40-byte ACK per delivered data packet (ACKs are stamped
+  remaining=0, so they are never dropped nor delayed behind data);
+* on a 45 us RTO, counts all unacked packets as lost and re-pushes
+  them, earliest first;
+* after several consecutive RTOs enters *probe mode* (pFabric §4.3):
+  one header-sized probe per RTO instead of a window of
+  retransmissions, resuming on the probe-ACK — so a congestion
+  pathology cannot trigger a retransmission storm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set
+
+from repro.net.packet import Flow, Packet, PacketType, control_packet
+from repro.protocols.base import ProtocolSpec, TransportAgent, pfabric_queue_factory
+from repro.protocols.pfabric.config import PFabricConfig
+from repro.sim.engine import EventLoop
+
+__all__ = ["PFabricAgent", "PFABRIC_SPEC"]
+
+#: Sequence number used by probe packets (never a real data seq).
+PROBE_SEQ = -1
+
+
+class _SrcFlow:
+    """Source-side window/retransmission state for one flow."""
+
+    __slots__ = (
+        "flow",
+        "next_seq",
+        "acked",
+        "unacked_sent",
+        "rtx",
+        "rtx_set",
+        "in_flight",
+        "ever_sent",
+        "rto_timer",
+        "rto_scale",
+        "consecutive_timeouts",
+        "probing",
+        "probes_sent",
+        "done",
+    )
+
+    def __init__(self, flow: Flow) -> None:
+        self.flow = flow
+        self.next_seq = 0
+        self.acked: Set[int] = set()
+        self.unacked_sent: Set[int] = set()
+        self.rtx: Deque[int] = deque()
+        self.rtx_set: Set[int] = set()
+        self.in_flight = 0
+        self.ever_sent: Set[int] = set()
+        self.rto_timer: Optional[list] = None
+        self.rto_scale = 1.0
+        self.consecutive_timeouts = 0
+        self.probing = False
+        self.probes_sent = 0
+        self.done = False
+
+    def remaining(self) -> int:
+        """Un-ACKed packets — the pFabric priority value."""
+        return self.flow.n_pkts - len(self.acked)
+
+    def next_to_send(self) -> Optional[int]:
+        while self.rtx:
+            seq = self.rtx.popleft()
+            self.rtx_set.discard(seq)
+            if seq not in self.acked:
+                return seq
+        if self.next_seq < self.flow.n_pkts:
+            seq = self.next_seq
+            self.next_seq += 1
+            return seq
+        return None
+
+    def has_sendable(self) -> bool:
+        if any(seq not in self.acked for seq in self.rtx):
+            return True
+        return self.next_seq < self.flow.n_pkts
+
+
+class _DstFlow:
+    """Receiver-side reassembly state for one flow."""
+
+    __slots__ = ("flow", "received")
+
+    def __init__(self, flow: Flow) -> None:
+        self.flow = flow
+        self.received: Set[int] = set()
+
+
+class PFabricAgent(TransportAgent):
+    """pFabric endpoint for one host (source + receiver roles)."""
+
+    def __init__(self, host, env, fabric, collector, config: PFabricConfig, shared=None) -> None:
+        super().__init__(host, env, fabric, collector, config, shared)
+        self.src_flows: Dict[int, _SrcFlow] = {}
+        self.dst_flows: Dict[int, _DstFlow] = {}
+        self.finished_rx: Set[int] = set()
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # Source side
+    # ------------------------------------------------------------------
+    def start_flow(self, flow: Flow) -> None:
+        if flow.fid in self.src_flows:
+            raise ValueError(f"duplicate flow id {flow.fid}")
+        self.collector.flow_arrived(flow, self.env.now)
+        state = _SrcFlow(flow)
+        self.src_flows[flow.fid] = state
+        self._pump(state)
+
+    def _pump(self, state: _SrcFlow) -> None:
+        """Fill the window: push packets into the NIC priority queue."""
+        while not state.done and state.in_flight < self.config.init_cwnd:
+            seq = state.next_to_send()
+            if seq is None:
+                break
+            self._send_data(state, seq)
+        if state.rto_timer is None and state.unacked_sent and not state.done:
+            self._arm_rto(state)
+
+    def _send_data(self, state: _SrcFlow, seq: int) -> None:
+        flow = state.flow
+        now = self.env.now
+        pkt = Packet(
+            PacketType.DATA,
+            flow,
+            seq,
+            flow.src,
+            flow.dst,
+            flow.wire_bytes_of(seq),
+            priority=1,
+            born=now,
+        )
+        pkt.remaining = state.remaining()
+        first_time = seq not in state.ever_sent
+        state.ever_sent.add(seq)
+        state.unacked_sent.add(seq)
+        state.in_flight += 1
+        if flow.start_time is None:
+            flow.start_time = now
+        self.collector.data_sent(pkt, first_time)
+        self.host.send(pkt)
+
+    def _arm_rto(self, state: _SrcFlow) -> None:
+        EventLoop.cancel(state.rto_timer)
+        state.rto_timer = self.env.schedule(
+            self.config.rto * state.rto_scale, self._on_rto, state.flow.fid
+        )
+
+    def _on_rto(self, fid: int) -> None:
+        state = self.src_flows.get(fid)
+        if state is None or state.done:
+            return
+        state.rto_timer = None
+        self.timeouts += 1
+        state.consecutive_timeouts += 1
+        threshold = self.config.probe_after_timeouts
+        if threshold and state.consecutive_timeouts >= threshold:
+            # Probe mode (pFabric §4.3): stop blasting windows of
+            # retransmissions; one tiny probe per RTO until the path
+            # answers again.
+            state.probing = True
+            self._send_probe(state)
+            self._arm_rto(state)
+            return
+        # Everything outstanding is presumed lost; resend earliest first.
+        lost = sorted(state.unacked_sent - state.rtx_set)
+        for seq in lost:
+            state.rtx.append(seq)
+            state.rtx_set.add(seq)
+        state.in_flight = 0
+        state.rto_scale *= self.config.min_rto_backoff
+        self._pump(state)
+        if state.rto_timer is None and not state.done:
+            self._arm_rto(state)
+
+    def _send_probe(self, state: _SrcFlow) -> None:
+        flow = state.flow
+        probe = Packet(
+            PacketType.DATA,
+            flow,
+            PROBE_SEQ,
+            flow.src,
+            flow.dst,
+            40,  # header-only
+            priority=1,
+            born=self.env.now,
+        )
+        probe.remaining = state.remaining()
+        state.probes_sent += 1
+        self.host.send(probe)
+
+    def _on_ack(self, pkt: Packet) -> None:
+        state = self.src_flows.get(pkt.flow.fid)
+        if state is None or state.done:
+            return
+        seq = pkt.seq
+        state.consecutive_timeouts = 0
+        if seq == PROBE_SEQ:
+            # The path is alive again: leave probe mode and resume with
+            # a fresh round of retransmissions.
+            if state.probing:
+                state.probing = False
+                lost = sorted(state.unacked_sent - state.rtx_set)
+                for s in lost:
+                    state.rtx.append(s)
+                    state.rtx_set.add(s)
+                state.in_flight = 0
+                state.rto_scale = 1.0
+                self._pump(state)
+                self._arm_rto(state)
+            return
+        if seq in state.acked:
+            return
+        state.probing = False  # any data ACK proves the path is alive
+        state.acked.add(seq)
+        state.unacked_sent.discard(seq)
+        if state.in_flight > 0:
+            state.in_flight -= 1
+        state.rto_scale = 1.0
+        if len(state.acked) >= state.flow.n_pkts:
+            state.done = True
+            EventLoop.cancel(state.rto_timer)
+            state.rto_timer = None
+            del self.src_flows[pkt.flow.fid]
+            return
+        self._arm_rto(state)  # progress: restart the clock
+        self._pump(state)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def _on_data(self, pkt: Packet) -> None:
+        flow = pkt.flow
+        fid = flow.fid
+        if pkt.seq == PROBE_SEQ:
+            self._send_ack(flow, PROBE_SEQ)  # probe-ACK, no data implied
+            return
+        if fid in self.finished_rx:
+            self._send_ack(flow, pkt.seq)  # keep ACKing so the source closes
+            return
+        state = self.dst_flows.get(fid)
+        if state is None:
+            state = _DstFlow(flow)
+            self.dst_flows[fid] = state
+        if pkt.seq not in state.received:
+            state.received.add(pkt.seq)
+            self.collector.data_delivered(pkt)
+            if len(state.received) >= flow.n_pkts:
+                self.collector.flow_completed(flow, self.env.now)
+                self.finished_rx.add(fid)
+                del self.dst_flows[fid]
+        self._send_ack(flow, pkt.seq)
+
+    def _send_ack(self, flow: Flow, seq: int) -> None:
+        ack = control_packet(PacketType.ACK, flow, seq, self.host.node_id, flow.src, self.env.now)
+        ack.remaining = 0  # top priority in pFabric queues
+        self.collector.control_sent(ack)
+        self.host.send(ack)
+
+    # ------------------------------------------------------------------
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.ptype == PacketType.DATA:
+            self._on_data(pkt)
+        elif pkt.ptype == PacketType.ACK:
+            self._on_ack(pkt)
+        else:
+            raise ValueError(f"pFabric host received unexpected packet type: {pkt!r}")
+
+
+def _pfabric_config_factory(fabric) -> PFabricConfig:
+    return PFabricConfig.paper_default()
+
+
+def _pfabric_agent_factory(host, env, fabric, collector, config, shared) -> PFabricAgent:
+    return PFabricAgent(host, env, fabric, collector, config, shared)
+
+
+PFABRIC_SPEC = ProtocolSpec(
+    name="pfabric",
+    agent_factory=_pfabric_agent_factory,
+    config_factory=_pfabric_config_factory,
+    switch_queue_factory=pfabric_queue_factory,
+    host_queue_factory=pfabric_queue_factory,
+)

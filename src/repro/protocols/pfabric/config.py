@@ -1,0 +1,50 @@
+"""pFabric configuration (the settings the pHost paper uses in §4.1:
+"an initial congestion window of 12 packets, an RTO of 45us")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import usec
+
+__all__ = ["PFabricConfig"]
+
+
+@dataclass
+class PFabricConfig:
+    """Tunables of the pFabric endpoint behaviour.
+
+    Attributes:
+        init_cwnd: Fixed send window in packets.  pFabric "starts at
+            line rate"; the evaluated simulator caps in-flight packets
+            at this window and otherwise relies on switch priorities.
+        rto: Retransmission timeout (seconds).
+        min_rto_backoff: Multiplier applied to the RTO after consecutive
+            timeouts of the same flow (1.0 disables backoff; kept mild
+            because pFabric's aggressiveness is the point).
+        probe_after_timeouts: After this many consecutive RTOs a flow
+            enters *probe mode* (pFabric §4.3): instead of blasting a
+            window of retransmissions every RTO, it sends a single
+            header-sized probe and waits for the probe-ACK before
+            resuming — the protection against retransmission storms
+            under pathological congestion.  0 disables probing.
+    """
+
+    init_cwnd: int = 12
+    rto: float = usec(45)
+    min_rto_backoff: float = 1.0
+    probe_after_timeouts: int = 4
+
+    def __post_init__(self) -> None:
+        if self.init_cwnd < 1:
+            raise ValueError("init_cwnd must be >= 1")
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.min_rto_backoff < 1.0:
+            raise ValueError("min_rto_backoff must be >= 1.0")
+        if self.probe_after_timeouts < 0:
+            raise ValueError("probe_after_timeouts must be >= 0")
+
+    @classmethod
+    def paper_default(cls) -> "PFabricConfig":
+        return cls()

@@ -1,0 +1,50 @@
+"""Protocol registry: name -> :class:`~repro.protocols.base.ProtocolSpec`.
+
+The experiment runner resolves protocols by name ("phost", "pfabric",
+"fastpass"); external code can register additional transports with
+:func:`register_protocol` (the runner will pick them up transparently).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.protocols.base import ProtocolSpec
+
+__all__ = ["get_protocol", "register_protocol", "available_protocols"]
+
+_REGISTRY: Dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> None:
+    """Add (or replace) a protocol in the registry."""
+    _REGISTRY[spec.name] = spec
+
+
+def _ensure_builtins() -> None:
+    if _REGISTRY:
+        return
+    # Imported lazily to avoid cycles at package import time.
+    from repro.core.agent import PHOST_SPEC
+    from repro.protocols.fastpass.agent import FASTPASS_SPEC
+    from repro.protocols.ideal import IDEAL_SPEC
+    from repro.protocols.pfabric.agent import PFABRIC_SPEC
+
+    for spec in (PHOST_SPEC, PFABRIC_SPEC, FASTPASS_SPEC, IDEAL_SPEC):
+        register_protocol(spec)
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look a protocol up by name; raises ValueError for unknown names."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_protocols() -> List[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)

@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine (substrate S1).
+
+This package is the foundation everything else runs on: a binary-heap
+event loop with cancellable events (`EventLoop`), time/rate unit helpers
+(`units`), and deterministic seeded randomness (`randoms`).
+"""
+
+from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.randoms import SeededRng
+from repro.sim import units
+
+__all__ = ["EventLoop", "SimulationError", "SeededRng", "units"]

@@ -1,0 +1,163 @@
+"""Event loop for the packet-level simulator.
+
+The loop is deliberately minimal and fast: events are stored in a binary
+heap as small lists ``[time, seq, callback, args]``.  Cancellation is
+O(1) — the callback slot is nulled out and the entry is skipped when it
+reaches the top of the heap.  The monotone ``seq`` counter makes event
+ordering deterministic for equal timestamps (FIFO among ties), which in
+turn makes whole simulations reproducible for a fixed seed.
+
+Times are floats in **seconds**.  At datacenter scale (nanoseconds to
+milliseconds) float64 has far more resolution than we need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["EventLoop", "SimulationError"]
+
+# Index of the callback inside an event entry; used for cancellation.
+_FN = 2
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is used inconsistently.
+
+    Examples: scheduling an event in the past, or running a loop that
+    was already exhausted with ``strict=True``.
+    """
+
+
+class EventLoop:
+    """A discrete-event scheduler.
+
+    Typical usage::
+
+        loop = EventLoop()
+        loop.schedule(1e-6, handler, arg1, arg2)
+        loop.run()
+
+    Attributes:
+        now: Current simulation time in seconds.  Monotonically
+            non-decreasing while the loop runs.
+        events_processed: Number of callbacks actually executed (skipped
+            cancelled entries are not counted).
+    """
+
+    __slots__ = ("now", "events_processed", "_heap", "_seq", "_stopped")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.events_processed: int = 0
+        self._heap: List[list] = []
+        self._seq: int = 0
+        self._stopped: bool = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> list:
+        """Schedule ``fn(*args)`` at absolute time ``when``.
+
+        Returns an opaque handle usable with :meth:`cancel`.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < now={self.now}"
+            )
+        self._seq += 1
+        entry = [when, self._seq, fn, args]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> list:
+        """Schedule ``fn(*args)`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    @staticmethod
+    def cancel(entry: Optional[list]) -> None:
+        """Cancel a previously scheduled event.
+
+        Safe to call with ``None`` or with an entry that already fired
+        (firing nulls the callback slot as well).
+        """
+        if entry is not None:
+            entry[_FN] = None
+
+    @staticmethod
+    def is_pending(entry: Optional[list]) -> bool:
+        """True if the handle refers to an event that has not fired."""
+        return entry is not None and entry[_FN] is not None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the heap is empty."""
+        heap = self._heap
+        while heap and heap[0][_FN] is None:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events in time order.
+
+        Args:
+            until: Stop once the next event's time exceeds this value
+                (the clock is still advanced to ``until``).  ``None``
+                runs until the heap drains or :meth:`stop` is called.
+            max_events: Safety valve; stop after this many callbacks.
+
+        Returns:
+            Number of callbacks executed by this call.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        self._stopped = False
+        while heap:
+            if self._stopped:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            entry = heap[0]
+            fn = entry[_FN]
+            if fn is None:  # cancelled — drop silently
+                pop(heap)
+                continue
+            when = entry[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            pop(heap)
+            self.now = when
+            entry[_FN] = None  # mark as fired (makes cancel-after-fire a no-op)
+            fn(*entry[3])
+            executed += 1
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        self.events_processed += executed
+        return executed
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current callback."""
+        self._stopped = True
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events still queued. O(n)."""
+        return sum(1 for e in self._heap if e[_FN] is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EventLoop(now={self.now:.9f}, pending={len(self._heap)}, "
+            f"processed={self.events_processed})"
+        )

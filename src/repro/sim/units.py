@@ -1,0 +1,89 @@
+"""Unit helpers and wire constants.
+
+Everything internal is SI: seconds, bytes, bits/second.  These helpers
+exist so the rest of the code reads like the paper ("10 Gbps access
+links", "36 kB buffers", "1.5x MTU transmission time") instead of like
+arithmetic.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GBPS",
+    "MBPS",
+    "KB",
+    "MB",
+    "GB",
+    "MTU_BYTES",
+    "HEADER_BYTES",
+    "MSS_BYTES",
+    "CONTROL_BYTES",
+    "gbps",
+    "usec",
+    "nsec",
+    "msec",
+    "tx_time",
+    "packets_for_bytes",
+    "wire_bytes",
+]
+
+GBPS = 1e9
+MBPS = 1e6
+
+# Storage sizes follow the paper's usage (decimal k/M for buffers and
+# flow sizes, as in "36kB buffers" and "1GB flows").
+KB = 1000
+MB = 1000 * 1000
+GB = 1000 * 1000 * 1000
+
+#: Maximum transmission unit on the wire, including headers.
+MTU_BYTES = 1500
+#: Header bytes per packet; also the size of every control packet
+#: (RTS, token, ACK, Fastpass request/schedule) per the paper ("All
+#: control packets in pHost are of 40 bytes").
+HEADER_BYTES = 40
+#: Maximum payload per data packet.
+MSS_BYTES = MTU_BYTES - HEADER_BYTES
+#: Size of a control packet on the wire.
+CONTROL_BYTES = HEADER_BYTES
+
+
+def gbps(x: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return x * GBPS
+
+
+def usec(x: float) -> float:
+    """Convert microseconds to seconds."""
+    return x * 1e-6
+
+
+def nsec(x: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return x * 1e-9
+
+
+def msec(x: float) -> float:
+    """Convert milliseconds to seconds."""
+    return x * 1e-3
+
+
+def tx_time(size_bytes: float, rate_bps: float) -> float:
+    """Serialization delay of ``size_bytes`` on a ``rate_bps`` link."""
+    return size_bytes * 8.0 / rate_bps
+
+
+def packets_for_bytes(size_bytes: int, mss: int = MSS_BYTES) -> int:
+    """Number of data packets needed to carry ``size_bytes`` of payload.
+
+    A zero-byte flow still occupies one (header-only) packet, matching
+    how flow-oriented simulators treat degenerate flows.
+    """
+    if size_bytes <= 0:
+        return 1
+    return -(-size_bytes // mss)  # ceil division
+
+
+def wire_bytes(payload_bytes: int, header: int = HEADER_BYTES) -> int:
+    """Bytes a data packet occupies on the wire (payload + header)."""
+    return payload_bytes + header

@@ -1,0 +1,26 @@
+"""Observability: packet/flow tracing and queue monitoring.
+
+Research simulators live or die by their debuggability.  This package
+provides opt-in instrumentation that hooks the fabric without touching
+the protocol code:
+
+* :mod:`repro.trace.events` — typed trace records (packet sent /
+  delivered / dropped, token granted, flow lifecycle).
+* :mod:`repro.trace.tracer` — a ring-buffer tracer that taps a fabric's
+  ports and a collector's callbacks; per-flow timelines on demand.
+* :mod:`repro.trace.queues` — periodic queue-occupancy sampling across
+  chosen ports (used to study where queueing actually happens —
+  paper §2.3's claim that the core stays empty).
+"""
+
+from repro.trace.events import TraceEvent, TraceKind
+from repro.trace.tracer import PacketTracer
+from repro.trace.queues import QueueMonitor, QueueSample
+
+__all__ = [
+    "TraceEvent",
+    "TraceKind",
+    "PacketTracer",
+    "QueueMonitor",
+    "QueueSample",
+]

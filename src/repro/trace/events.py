@@ -1,0 +1,50 @@
+"""Typed trace records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["TraceKind", "TraceEvent"]
+
+
+class TraceKind(Enum):
+    """What happened."""
+
+    FLOW_ARRIVED = "flow_arrived"
+    FLOW_COMPLETED = "flow_completed"
+    DATA_SENT = "data_sent"
+    DATA_DELIVERED = "data_delivered"
+    CONTROL_SENT = "control_sent"
+    PACKET_DROPPED = "packet_dropped"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instrumented occurrence.
+
+    ``detail`` carries kind-specific context: the hop index for drops,
+    "retx" for retransmitted sends, the control packet type name for
+    control sends.
+    """
+
+    time: float
+    kind: TraceKind
+    fid: Optional[int]
+    seq: Optional[int] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        parts = [f"{self.time * 1e6:10.3f}us", self.kind.value]
+        if self.fid is not None:
+            parts.append(f"flow={self.fid}")
+        if self.seq is not None:
+            parts.append(f"seq={self.seq}")
+        if self.src is not None and self.dst is not None:
+            parts.append(f"{self.src}->{self.dst}")
+        if self.detail:
+            parts.append(f"[{self.detail}]")
+        return " ".join(parts)

@@ -1,0 +1,131 @@
+"""Ring-buffer packet/flow tracer.
+
+Attach a :class:`PacketTracer` to a (collector, fabric) pair and every
+instrumented event lands in a bounded deque.  Filters keep overhead and
+memory in check on long runs: trace one flow, one host pair, or one
+event kind.  Typical use::
+
+    tracer = PacketTracer(capacity=50_000, fids={42})
+    tracer.attach(collector, fabric)
+    ... run simulation ...
+    print(tracer.timeline(42))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Set
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import Flow, Packet
+from repro.net.topology import Fabric
+from repro.trace.events import TraceEvent, TraceKind
+
+__all__ = ["PacketTracer"]
+
+
+class PacketTracer:
+    """Collects :class:`TraceEvent` records from a running simulation."""
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        fids: Optional[Iterable[int]] = None,
+        kinds: Optional[Iterable[TraceKind]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.fid_filter: Optional[Set[int]] = set(fids) if fids is not None else None
+        self.kind_filter: Optional[Set[TraceKind]] = (
+            set(kinds) if kinds is not None else None
+        )
+        self.dropped_by_filter = 0
+        self._env = None
+        self._chained_drop_hook = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, collector: MetricsCollector, fabric: Fabric) -> "PacketTracer":
+        """Install this tracer as the collector's observer and tap the
+        fabric's drop hook (chaining any hook already present)."""
+        if collector.observer is not None:
+            raise RuntimeError("collector already has an observer attached")
+        collector.observer = self
+        self._env = fabric.env
+        self._chained_drop_hook = fabric.drop_hook
+        fabric.drop_hook = self._on_drop
+        return self
+
+    # ------------------------------------------------------------------
+    # Observer interface (called by the collector)
+    # ------------------------------------------------------------------
+    def flow_arrived(self, flow: Flow, now: float) -> None:
+        self._record(
+            TraceKind.FLOW_ARRIVED, now, flow.fid, None, flow.src, flow.dst,
+            detail=f"{flow.size_bytes}B",
+        )
+
+    def flow_completed(self, flow: Flow, now: float) -> None:
+        self._record(TraceKind.FLOW_COMPLETED, now, flow.fid, None, flow.src, flow.dst)
+
+    def data_sent(self, pkt: Packet, first_time: bool) -> None:
+        self._record_pkt(TraceKind.DATA_SENT, pkt, detail="" if first_time else "retx")
+
+    def data_delivered(self, pkt: Packet) -> None:
+        self._record_pkt(TraceKind.DATA_DELIVERED, pkt)
+
+    def control_sent(self, pkt: Packet) -> None:
+        self._record_pkt(TraceKind.CONTROL_SENT, pkt, detail=pkt.ptype.name)
+
+    def _on_drop(self, pkt: Packet, hop_index: int) -> None:
+        self._record_pkt(TraceKind.PACKET_DROPPED, pkt, detail=f"hop{hop_index}")
+        if self._chained_drop_hook is not None:
+            self._chained_drop_hook(pkt, hop_index)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    def _record_pkt(self, kind: TraceKind, pkt: Packet, detail: str = "") -> None:
+        fid = pkt.flow.fid if pkt.flow is not None else None
+        self._record(kind, self._now(), fid, pkt.seq, pkt.src, pkt.dst, detail)
+
+    def _record(
+        self,
+        kind: TraceKind,
+        now: float,
+        fid: Optional[int],
+        seq: Optional[int],
+        src: Optional[int],
+        dst: Optional[int],
+        detail: str = "",
+    ) -> None:
+        if self.kind_filter is not None and kind not in self.kind_filter:
+            self.dropped_by_filter += 1
+            return
+        if self.fid_filter is not None and fid not in self.fid_filter:
+            self.dropped_by_filter += 1
+            return
+        self.events.append(TraceEvent(now, kind, fid, seq, src, dst, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: TraceKind) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def of_flow(self, fid: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.fid == fid]
+
+    def timeline(self, fid: int) -> str:
+        """Human-readable per-flow event timeline."""
+        lines = [str(e) for e in self.of_flow(fid)]
+        header = f"--- flow {fid}: {len(lines)} events ---"
+        return "\n".join([header] + lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

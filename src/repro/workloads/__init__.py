@@ -1,0 +1,45 @@
+"""Workloads (S8-S10): flow-size distributions, arrival processes,
+traffic matrices and deadline assignment from the paper's evaluation.
+"""
+
+from repro.workloads.distributions import (
+    EmpiricalCDF,
+    WORKLOADS,
+    bimodal,
+    data_mining,
+    fixed_size,
+    imc10,
+    web_search,
+)
+from repro.workloads.generator import FlowGenerator, poisson_flow_rate
+from repro.workloads.traffic_matrix import (
+    AllToAll,
+    IncastPattern,
+    Permutation,
+    TrafficMatrix,
+)
+from repro.workloads.deadlines import assign_deadlines
+from repro.workloads.synthetic import LognormalDist, ParetoDist, UniformDist
+from repro.workloads.trace_io import load_flows, save_flows
+
+__all__ = [
+    "EmpiricalCDF",
+    "WORKLOADS",
+    "web_search",
+    "data_mining",
+    "imc10",
+    "bimodal",
+    "fixed_size",
+    "FlowGenerator",
+    "poisson_flow_rate",
+    "TrafficMatrix",
+    "AllToAll",
+    "Permutation",
+    "IncastPattern",
+    "assign_deadlines",
+    "ParetoDist",
+    "LognormalDist",
+    "UniformDist",
+    "load_flows",
+    "save_flows",
+]

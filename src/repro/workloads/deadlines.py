@@ -1,0 +1,48 @@
+"""Deadline assignment for deadline-constrained traffic (Figure 5c).
+
+Per the paper: "We assign a deadline to each flow using exponential
+distribution with mean 1000us; if the assigned deadline is less than
+1.25x the optimal FCT of a flow, we set the deadline for that flow to be
+1.25x its optimal FCT."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.net.packet import Flow
+from repro.net.topology import Fabric
+from repro.sim.randoms import SeededRng
+from repro.sim.units import usec
+
+__all__ = ["assign_deadlines", "DEFAULT_DEADLINE_MEAN", "DEFAULT_DEADLINE_FLOOR"]
+
+DEFAULT_DEADLINE_MEAN = usec(1000)
+DEFAULT_DEADLINE_FLOOR = 1.25
+
+
+def assign_deadlines(
+    flows: Iterable[Flow],
+    fabric: Fabric,
+    rng: SeededRng,
+    mean: float = DEFAULT_DEADLINE_MEAN,
+    floor_factor: float = DEFAULT_DEADLINE_FLOOR,
+) -> List[Flow]:
+    """Set ``flow.deadline`` (absolute time) on every flow; returns them.
+
+    A deadline is relative slack added to the arrival time, floored at
+    ``floor_factor`` x the flow's ideal FCT so no deadline is
+    unachievable by construction.
+    """
+    if mean <= 0:
+        raise ValueError("deadline mean must be positive")
+    if floor_factor < 1.0:
+        raise ValueError("floor_factor below 1.0 creates impossible deadlines")
+    stream = rng.stream("deadlines")
+    out: List[Flow] = []
+    for flow in flows:
+        slack = stream.expovariate(1.0 / mean)
+        floor = floor_factor * fabric.opt_fct(flow.size_bytes, flow.src, flow.dst)
+        flow.deadline = flow.arrival + max(slack, floor)
+        out.append(flow)
+    return out

@@ -1,0 +1,251 @@
+"""Flow-size distributions (paper Figure 2 and §4.3).
+
+The paper evaluates three production traces — "Web Search" (DCTCP),
+"Data Mining" (VL2) and "IMC10" (Benson et al.) — plus a synthetic
+bimodal workload.  We do not have the raw traces, so we embed
+piecewise-linear CDFs with the published shapes:
+
+* all three are heavy-tailed (most flows short, most bytes in long
+  flows);
+* Data Mining and IMC10 have a much larger fraction of tiny flows than
+  Web Search;
+* IMC10 matches Data Mining except its tail is capped at 3 MB (vs 1 GB).
+
+DESIGN.md §2 records this substitution.  Every property the paper's
+arguments rely on (flow-count dominated by short flows, byte-count by
+long ones, the Fig. 4 short/long split) is exercised by tests in
+``tests/workloads``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.randoms import SeededRng
+from repro.sim.units import MSS_BYTES
+
+__all__ = [
+    "EmpiricalCDF",
+    "web_search",
+    "data_mining",
+    "imc10",
+    "bimodal",
+    "fixed_size",
+    "WORKLOADS",
+    "LONG_FLOW_THRESHOLD",
+]
+
+#: Figure 4's analysis split: flows larger than this are "long".
+LONG_FLOW_THRESHOLD: Dict[str, int] = {
+    "websearch": 10_000_000,
+    "datamining": 10_000_000,
+    "imc10": 100_000,
+}
+
+
+class EmpiricalCDF:
+    """A flow-size distribution given as CDF breakpoints.
+
+    By default sizes between breakpoints are linearly interpolated (a
+    first breakpoint with cdf > 0 is an atom at that size).  With
+    ``discrete=True`` the distribution is a pure mixture of atoms at the
+    breakpoints (used by the bimodal workload).  Sampling inverts the
+    CDF with a binary search, so draws are O(log n).
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Tuple[float, float]],
+        name: str = "cdf",
+        discrete: bool = False,
+    ) -> None:
+        if len(points) < 1:
+            raise ValueError("need at least one CDF point")
+        sizes = [float(s) for s, _ in points]
+        probs = [float(p) for _, p in points]
+        if any(s <= 0 for s in sizes):
+            raise ValueError("flow sizes must be positive")
+        if sizes != sorted(sizes) or len(set(sizes)) != len(sizes):
+            raise ValueError("CDF sizes must be strictly increasing")
+        if probs != sorted(probs):
+            raise ValueError("CDF probabilities must be non-decreasing")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("final CDF value must be 1.0")
+        if any(p < 0 or p > 1 for p in probs):
+            raise ValueError("CDF values must lie in [0, 1]")
+        self.name = name
+        self.discrete = discrete
+        self._sizes = sizes
+        self._probs = probs
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._sizes, self._probs))
+
+    @property
+    def max_bytes(self) -> int:
+        return int(self._sizes[-1])
+
+    def sample(self, rng: SeededRng) -> int:
+        """Draw one flow size in bytes (at least 1)."""
+        u = rng.random()
+        probs = self._probs
+        idx = bisect_left(probs, u)
+        if idx >= len(probs):
+            idx = len(probs) - 1
+        if self.discrete or idx == 0:
+            return max(1, int(round(self._sizes[idx])))
+        p_lo, p_hi = probs[idx - 1], probs[idx]
+        s_lo, s_hi = self._sizes[idx - 1], self._sizes[idx]
+        if p_hi <= p_lo:  # atom
+            return max(1, int(round(s_hi)))
+        frac = (u - p_lo) / (p_hi - p_lo)
+        return max(1, int(round(s_lo + frac * (s_hi - s_lo))))
+
+    def cdf_at(self, size_bytes: float) -> float:
+        """P(flow size <= size_bytes) under the interpolated CDF."""
+        sizes, probs = self._sizes, self._probs
+        if size_bytes < sizes[0]:
+            return 0.0
+        if size_bytes >= sizes[-1]:
+            return 1.0
+        idx = bisect_left(sizes, size_bytes)
+        if sizes[idx] == size_bytes:
+            return probs[idx]
+        s_lo, s_hi = sizes[idx - 1], sizes[idx]
+        p_lo, p_hi = probs[idx - 1], probs[idx]
+        return p_lo + (size_bytes - s_lo) / (s_hi - s_lo) * (p_hi - p_lo)
+
+    def mean(self) -> float:
+        """Analytic mean of the distribution (bytes)."""
+        total = self._sizes[0] * self._probs[0]  # atom at the first point
+        for i in range(1, len(self._sizes)):
+            mass = self._probs[i] - self._probs[i - 1]
+            if self.discrete:
+                total += mass * self._sizes[i]
+            else:
+                total += mass * 0.5 * (self._sizes[i - 1] + self._sizes[i])
+        return total
+
+    def truncated(self, max_bytes: int, name: str = "") -> "EmpiricalCDF":
+        """Cap the distribution at ``max_bytes`` (mass above collapses
+        onto the cap).  Used to keep CI-scale runs fast; DESIGN.md
+        documents the effect on absolute numbers."""
+        if max_bytes < self._sizes[0]:
+            raise ValueError("truncation point below the smallest flow size")
+        pts: List[Tuple[float, float]] = []
+        for s, p in zip(self._sizes, self._probs):
+            if s < max_bytes:
+                pts.append((s, p))
+            else:
+                break
+        pts.append((float(max_bytes), 1.0))
+        return EmpiricalCDF(
+            pts, name=name or f"{self.name}<=:{max_bytes}", discrete=self.discrete
+        )
+
+    def fraction_short(self, threshold_bytes: float) -> float:
+        return self.cdf_at(threshold_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EmpiricalCDF({self.name}, {len(self._sizes)} pts, max={self.max_bytes}B)"
+
+
+# ----------------------------------------------------------------------
+# The paper's three workloads (breakpoints in bytes).
+# ----------------------------------------------------------------------
+
+def web_search() -> EmpiricalCDF:
+    """DCTCP "Web Search" shape: fewer tiny flows than the other two,
+    mean ~1.5 MB, tail to 30 MB."""
+    return EmpiricalCDF(
+        [
+            (1_000, 0.00),
+            (10_000, 0.15),
+            (20_000, 0.20),
+            (30_000, 0.30),
+            (50_000, 0.40),
+            (80_000, 0.53),
+            (200_000, 0.60),
+            (1_000_000, 0.70),
+            (2_000_000, 0.80),
+            (5_000_000, 0.90),
+            (10_000_000, 0.95),
+            (30_000_000, 1.00),
+        ],
+        name="websearch",
+    )
+
+
+def data_mining() -> EmpiricalCDF:
+    """VL2 "Data Mining" shape: half the flows are tiny, tail to 1 GB."""
+    return EmpiricalCDF(
+        [
+            (100, 0.00),
+            (300, 0.50),
+            (1_000, 0.60),
+            (2_000, 0.70),
+            (10_000, 0.80),
+            (100_000, 0.85),
+            (1_000_000, 0.90),
+            (10_000_000, 0.95),
+            (100_000_000, 0.98),
+            (1_000_000_000, 1.00),
+        ],
+        name="datamining",
+    )
+
+
+def imc10() -> EmpiricalCDF:
+    """Benson et al. IMC'10 shape: like Data Mining but the largest flow
+    is 3 MB (paper §4.1)."""
+    return EmpiricalCDF(
+        [
+            (100, 0.00),
+            (300, 0.50),
+            (1_000, 0.63),
+            (2_000, 0.72),
+            (10_000, 0.82),
+            (100_000, 0.90),
+            (1_000_000, 0.97),
+            (3_000_000, 1.00),
+        ],
+        name="imc10",
+    )
+
+
+def bimodal(
+    fraction_short: float,
+    short_pkts: int = 3,
+    long_pkts: int = 700,
+) -> EmpiricalCDF:
+    """The synthetic workload of Figure 8: short (3-packet) and long
+    (700-packet) flows with a configurable short fraction."""
+    if not 0.0 <= fraction_short <= 1.0:
+        raise ValueError("fraction_short must be in [0, 1]")
+    short_bytes = short_pkts * MSS_BYTES
+    long_bytes = long_pkts * MSS_BYTES
+    if fraction_short >= 1.0:
+        return fixed_size(short_bytes, name="bimodal:all-short")
+    if fraction_short <= 0.0:
+        return fixed_size(long_bytes, name="bimodal:all-long")
+    return EmpiricalCDF(
+        [(short_bytes, fraction_short), (long_bytes, 1.0)],
+        name=f"bimodal:{fraction_short:.3f}",
+        discrete=True,
+    )
+
+
+def fixed_size(size_bytes: int, name: str = "") -> EmpiricalCDF:
+    """Degenerate distribution: every flow is exactly ``size_bytes``."""
+    return EmpiricalCDF([(size_bytes, 1.0)], name=name or f"fixed:{size_bytes}")
+
+
+#: Registry used by experiment specs ("websearch", "datamining", "imc10").
+WORKLOADS = {
+    "websearch": web_search,
+    "datamining": data_mining,
+    "imc10": imc10,
+}

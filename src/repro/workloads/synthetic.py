@@ -1,0 +1,188 @@
+"""Parametric synthetic flow-size distributions.
+
+The paper's Figure 8 shows that conclusions depend on the short/long
+mix, and leaves other mixes as an open question.  These analytic
+families let users explore that space beyond the bimodal sweep:
+
+* :class:`ParetoDist` — bounded Pareto; the canonical heavy-tail model
+  (tail exponent ``alpha`` controls how much of the byte mass lives in
+  elephants).
+* :class:`LognormalDist` — the other classic size model, with a lighter
+  tail than Pareto at the same mean.
+* :class:`UniformDist` — a no-tail control case.
+
+All three expose the same duck interface as
+:class:`repro.workloads.distributions.EmpiricalCDF` (``sample``,
+``mean``, ``max_bytes``, ``cdf_at``, ``truncated``), so they drop into
+:class:`~repro.workloads.generator.FlowGenerator` and the experiment
+runner unchanged.  Experiment specs accept them as strings:
+``"pareto:<alpha>:<min_bytes>:<max_bytes>"``,
+``"lognormal:<median_bytes>:<sigma>"`` and
+``"uniform:<min_bytes>:<max_bytes>"``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.randoms import SeededRng
+
+__all__ = ["ParetoDist", "LognormalDist", "UniformDist", "parse_synthetic"]
+
+
+class ParetoDist:
+    """Bounded Pareto on [min_bytes, max_bytes] with tail exponent alpha."""
+
+    def __init__(self, alpha: float, min_bytes: int, max_bytes: int) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0 < min_bytes < max_bytes:
+            raise ValueError("need 0 < min_bytes < max_bytes")
+        self.alpha = float(alpha)
+        self.min_bytes = int(min_bytes)
+        self._max_bytes = int(max_bytes)
+        self.name = f"pareto:{alpha:g}:{min_bytes}:{max_bytes}"
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    def sample(self, rng: SeededRng) -> int:
+        # Inverse-CDF sampling of the bounded Pareto.
+        a, lo, hi = self.alpha, self.min_bytes, self._max_bytes
+        u = rng.random()
+        ratio = (hi / lo) ** a
+        x = lo / ((1.0 - u * (1.0 - 1.0 / ratio)) ** (1.0 / a))
+        return max(1, min(int(round(x)), hi))
+
+    def cdf_at(self, size_bytes: float) -> float:
+        a, lo, hi = self.alpha, self.min_bytes, self._max_bytes
+        if size_bytes < lo:
+            return 0.0
+        if size_bytes >= hi:
+            return 1.0
+        num = 1.0 - (lo / size_bytes) ** a
+        den = 1.0 - (lo / hi) ** a
+        return num / den
+
+    def mean(self) -> float:
+        a, lo, hi = self.alpha, self.min_bytes, self._max_bytes
+        if abs(a - 1.0) < 1e-9:
+            return lo * math.log(hi / lo) / (1.0 - lo / hi)
+        num = (lo ** a) * a / (a - 1.0) * (lo ** (1 - a) - hi ** (1 - a))
+        den = 1.0 - (lo / hi) ** a
+        return num / den
+
+    def truncated(self, max_bytes: int, name: str = "") -> "ParetoDist":
+        if max_bytes <= self.min_bytes:
+            raise ValueError("truncation point below the smallest flow size")
+        return ParetoDist(self.alpha, self.min_bytes, min(max_bytes, self._max_bytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParetoDist(alpha={self.alpha:g}, {self.min_bytes}-{self._max_bytes}B)"
+
+
+class LognormalDist:
+    """Lognormal sizes, clipped to [1, max_bytes]."""
+
+    def __init__(self, median_bytes: float, sigma: float, max_bytes: int = 10**9) -> None:
+        if median_bytes <= 0 or sigma <= 0:
+            raise ValueError("median and sigma must be positive")
+        if max_bytes <= median_bytes:
+            raise ValueError("max_bytes must exceed the median")
+        self.mu = math.log(median_bytes)
+        self.sigma = float(sigma)
+        self._max_bytes = int(max_bytes)
+        self.name = f"lognormal:{median_bytes:g}:{sigma:g}"
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    def sample(self, rng: SeededRng) -> int:
+        # Box-Muller from two uniform draws (keeps SeededRng's API thin).
+        u1 = max(rng.random(), 1e-12)
+        u2 = rng.random()
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        x = math.exp(self.mu + self.sigma * z)
+        return max(1, min(int(round(x)), self._max_bytes))
+
+    def cdf_at(self, size_bytes: float) -> float:
+        if size_bytes <= 0:
+            return 0.0
+        if size_bytes >= self._max_bytes:
+            return 1.0
+        z = (math.log(size_bytes) - self.mu) / self.sigma
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+    def mean(self) -> float:
+        # Clipping slightly lowers this; fine for rate calibration.
+        return math.exp(self.mu + self.sigma ** 2 / 2.0)
+
+    def truncated(self, max_bytes: int, name: str = "") -> "LognormalDist":
+        out = LognormalDist.__new__(LognormalDist)
+        out.mu = self.mu
+        out.sigma = self.sigma
+        out._max_bytes = min(int(max_bytes), self._max_bytes)
+        out.name = self.name + f"<=:{max_bytes}"
+        if out._max_bytes <= math.exp(self.mu):
+            raise ValueError("truncation point below the median")
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LognormalDist(median={math.exp(self.mu):g}, sigma={self.sigma:g})"
+
+
+class UniformDist:
+    """Uniform integer sizes on [min_bytes, max_bytes] — the no-tail control."""
+
+    def __init__(self, min_bytes: int, max_bytes: int) -> None:
+        if not 0 < min_bytes <= max_bytes:
+            raise ValueError("need 0 < min_bytes <= max_bytes")
+        self.min_bytes = int(min_bytes)
+        self._max_bytes = int(max_bytes)
+        self.name = f"uniform:{min_bytes}:{max_bytes}"
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    def sample(self, rng: SeededRng) -> int:
+        return rng.randint(self.min_bytes, self._max_bytes)
+
+    def cdf_at(self, size_bytes: float) -> float:
+        if size_bytes < self.min_bytes:
+            return 0.0
+        if size_bytes >= self._max_bytes:
+            return 1.0
+        span = self._max_bytes - self.min_bytes + 1
+        return (math.floor(size_bytes) - self.min_bytes + 1) / span
+
+    def mean(self) -> float:
+        return (self.min_bytes + self._max_bytes) / 2.0
+
+    def truncated(self, max_bytes: int, name: str = "") -> "UniformDist":
+        if max_bytes < self.min_bytes:
+            raise ValueError("truncation point below the smallest flow size")
+        return UniformDist(self.min_bytes, min(max_bytes, self._max_bytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UniformDist({self.min_bytes}-{self._max_bytes}B)"
+
+
+def parse_synthetic(spec: str):
+    """Parse "pareto:a:lo:hi" / "lognormal:median:sigma[:max]" /
+    "uniform:lo:hi" workload strings; returns None if not synthetic."""
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "pareto" and len(parts) == 4:
+            return ParetoDist(float(parts[1]), int(parts[2]), int(parts[3]))
+        if kind == "lognormal" and len(parts) in (3, 4):
+            max_bytes = int(parts[3]) if len(parts) == 4 else 10**9
+            return LognormalDist(float(parts[1]), float(parts[2]), max_bytes)
+        if kind == "uniform" and len(parts) == 3:
+            return UniformDist(int(parts[1]), int(parts[2]))
+    except ValueError as exc:
+        raise ValueError(f"bad synthetic workload spec {spec!r}: {exc}") from exc
+    return None

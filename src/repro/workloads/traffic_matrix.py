@@ -1,0 +1,104 @@
+"""Traffic matrices (paper §4.1 and §4.3).
+
+* :class:`AllToAll` — the default: every flow picks a uniform source and
+  an independent uniform destination (!= source).
+* :class:`Permutation` — each source sends only to its partner under a
+  fixed random derangement ("a single destination chosen uniformly at
+  random without replacement").
+* :class:`IncastPattern` — N uniformly-chosen senders each send
+  ``total_bytes / N`` to one receiver per request; used by the
+  closed-loop incast driver (Figures 9c/9d).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.sim.randoms import SeededRng
+
+__all__ = ["TrafficMatrix", "AllToAll", "Permutation", "IncastPattern"]
+
+
+class TrafficMatrix:
+    """Base class: a generator of (src, dst) host pairs."""
+
+    name = "abstract"
+
+    def __init__(self, n_hosts: int) -> None:
+        if n_hosts < 2:
+            raise ValueError("traffic matrix needs at least two hosts")
+        self.n_hosts = n_hosts
+
+    def sample_pair(self, rng: SeededRng) -> Tuple[int, int]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(n_hosts={self.n_hosts})"
+
+
+class AllToAll(TrafficMatrix):
+    """Uniform random source, uniform random distinct destination."""
+
+    name = "all_to_all"
+
+    def sample_pair(self, rng: SeededRng) -> Tuple[int, int]:
+        src = rng.randrange(self.n_hosts)
+        dst = rng.other_than(self.n_hosts, src)
+        return src, dst
+
+
+class Permutation(TrafficMatrix):
+    """A fixed random derangement: host i always sends to perm[i]."""
+
+    name = "permutation"
+
+    def __init__(self, n_hosts: int, rng: SeededRng) -> None:
+        super().__init__(n_hosts)
+        self.perm: List[int] = rng.stream("permutation").derangement_permutation(n_hosts)
+
+    def sample_pair(self, rng: SeededRng) -> Tuple[int, int]:
+        src = rng.randrange(self.n_hosts)
+        return src, self.perm[src]
+
+    def destination_of(self, src: int) -> int:
+        return self.perm[src]
+
+
+class IncastPattern:
+    """Incast request shape: N senders -> 1 receiver, data split evenly.
+
+    ``make_request`` returns the receiver and the per-sender byte count
+    for one request; the closed-loop driver in
+    :mod:`repro.experiments.runner` turns these into simultaneous flows
+    and measures FCT (per flow) and RCT (per request).
+    """
+
+    name = "incast"
+
+    def __init__(self, n_hosts: int, n_senders: int, total_bytes: int) -> None:
+        if n_senders < 1:
+            raise ValueError("need at least one sender")
+        if n_senders >= n_hosts:
+            raise ValueError("n_senders must be < n_hosts (receiver excluded)")
+        if total_bytes < n_senders:
+            raise ValueError("total_bytes must cover at least one byte per sender")
+        self.n_hosts = n_hosts
+        self.n_senders = n_senders
+        self.total_bytes = total_bytes
+
+    @property
+    def bytes_per_sender(self) -> int:
+        return self.total_bytes // self.n_senders
+
+    def make_request(self, rng: SeededRng) -> Tuple[int, List[int]]:
+        """Sample one request: (receiver, sender list)."""
+        receiver = rng.randrange(self.n_hosts)
+        candidates = [h for h in range(self.n_hosts) if h != receiver]
+        senders = rng.sample(candidates, self.n_senders)
+        return receiver, senders
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IncastPattern({self.n_senders} senders, "
+            f"{self.total_bytes}B total, {self.bytes_per_sender}B each)"
+        )

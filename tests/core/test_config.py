@@ -1,0 +1,81 @@
+"""Unit tests for PHostConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PHostConfig
+from repro.net.topology import TopologyConfig
+
+
+def test_paper_defaults():
+    cfg = PHostConfig.paper_default()
+    assert cfg.free_tokens == 8
+    assert cfg.token_expiry_mtus == 1.5
+    assert cfg.downgrade_threshold == 8      # "a BDP worth of tokens"
+    assert cfg.downgrade_mtus == 8.0
+    assert cfg.retx_timeout_mtus == 24.0
+
+
+def test_resolve_binds_paper_times():
+    topo = TopologyConfig.paper()
+    cfg = PHostConfig.paper_default().resolve(topo)
+    mtu = topo.mtu_tx_time
+    assert mtu == pytest.approx(1.2e-6)
+    assert cfg.token_interval == pytest.approx(mtu)
+    assert cfg.token_expiry == pytest.approx(1.5 * mtu)
+    assert cfg.downgrade_time == pytest.approx(8 * mtu)
+    assert cfg.retx_timeout == pytest.approx(24 * mtu)
+
+
+def test_resolve_is_nondestructive():
+    cfg = PHostConfig()
+    resolved = cfg.resolve(TopologyConfig.paper())
+    assert cfg.token_expiry == 0.0
+    assert resolved is not cfg
+
+
+def test_token_rate_factor_scales_interval():
+    cfg = PHostConfig(token_rate_factor=2.0).resolve(TopologyConfig.paper())
+    assert cfg.token_interval == pytest.approx(0.6e-6)
+
+
+def test_short_threshold_defaults_to_free_tokens():
+    assert PHostConfig(free_tokens=8).short_threshold_pkts == 8
+    assert PHostConfig(free_tokens=0).short_threshold_pkts == 1
+    assert PHostConfig(short_flow_pkts=30).short_threshold_pkts == 30
+
+
+def test_tenant_fair_preset():
+    cfg = PHostConfig.tenant_fair()
+    assert cfg.grant_policy == "tenant_fair"
+    assert cfg.spend_policy == "tenant_fair"
+    assert cfg.uniform_data_priority
+    assert cfg.free_tokens == 0
+
+
+def test_deadline_preset_uses_edf():
+    cfg = PHostConfig.deadline()
+    assert cfg.grant_policy == "edf"
+    assert cfg.spend_policy == "edf"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"free_tokens": -1},
+        {"token_expiry_mtus": 0},
+        {"downgrade_threshold": 0},
+        {"retx_timeout_mtus": -1},
+        {"token_rate_factor": 0},
+    ],
+)
+def test_validation_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        PHostConfig(**kwargs)
+
+
+def test_priority_policy_validation():
+    with pytest.raises(ValueError):
+        PHostConfig(priority_policy="random")
+    assert PHostConfig(priority_policy="deadline").priority_policy == "deadline"

@@ -1,0 +1,158 @@
+"""Fault-injection tests: pHost must survive losing any packet type.
+
+These wrap a host's ``on_packet`` to swallow specific control or data
+packets and assert the timeout machinery (§3.2/§3.4) still completes
+every flow.  Each scenario kills a different recovery path:
+
+* lost RTS        -> implicit-RTS from data, or source RTS retry
+* lost TOKEN      -> destination re-issues expired grants
+* lost ACK        -> source ACK-check re-pokes the destination
+* lost DATA burst -> destination re-grants the missing packets
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PHostConfig
+from repro.experiments.runner import build_simulation
+from repro.experiments.spec import ExperimentSpec
+from repro.net.packet import Flow, PacketType
+from repro.net.topology import TopologyConfig
+
+
+def phost_sim(config=None, seed=1):
+    spec = ExperimentSpec(
+        protocol="phost",
+        workload="fixed:1460",
+        n_flows=1,
+        topology=TopologyConfig.small(),
+        protocol_config=config,
+        seed=seed,
+    )
+    return build_simulation(spec)
+
+
+def swallow(agent, predicate, budget=1):
+    """Drop up to ``budget`` packets matching predicate at ``agent``."""
+    original = agent.on_packet
+    state = {"left": budget, "eaten": 0}
+
+    def lossy(pkt):
+        if state["left"] > 0 and predicate(pkt):
+            state["left"] -= 1
+            state["eaten"] += 1
+            return
+        original(pkt)
+
+    agent.on_packet = lossy
+    return state
+
+
+def start(env, fabric, collector, flow):
+    collector.expected_flows = (collector.expected_flows or 0) + 1
+    env.schedule_at(flow.arrival, fabric.hosts[flow.src].agent.start_flow, flow)
+
+
+def test_lost_rts_with_free_tokens_is_invisible():
+    env, fabric, collector, cfg = phost_sim()
+    dst = 5
+    eaten = swallow(fabric.hosts[dst].agent, lambda p: p.ptype == PacketType.RTS)
+    flow = Flow(1, 0, dst, 4 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    env.run(until=0.02)
+    assert eaten["eaten"] == 1
+    assert flow.completed
+    # recovery came from the implicit-RTS path, well before any timeout
+    assert flow.finish - flow.arrival < cfg.retx_timeout
+
+
+def test_lost_rts_without_free_tokens_recovers_via_retry():
+    env, fabric, collector, cfg = phost_sim(config=PHostConfig(free_tokens=0))
+    dst = 5
+    eaten = swallow(fabric.hosts[dst].agent, lambda p: p.ptype == PacketType.RTS)
+    flow = Flow(1, 0, dst, 4 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    env.run(until=0.05)
+    assert eaten["eaten"] == 1
+    assert flow.completed
+    # the source had to wait out at least one RTS-retry interval
+    assert flow.finish - flow.arrival >= cfg.rts_retry
+    assert fabric.hosts[0].agent.source.active_flow_count == 0
+
+
+def test_lost_token_regranted():
+    env, fabric, collector, cfg = phost_sim()
+    dst = 5
+    # swallow the first destination-granted token at the source
+    eaten = swallow(
+        fabric.hosts[0].agent,
+        lambda p: p.ptype == PacketType.TOKEN,
+    )
+    flow = Flow(1, 0, dst, 30 * 1460, 0.0)  # needs grants beyond free budget
+    start(env, fabric, collector, flow)
+    env.run(until=0.05)
+    assert eaten["eaten"] == 1
+    assert flow.completed
+
+
+def test_lost_ack_resolved_by_ack_check():
+    env, fabric, collector, cfg = phost_sim()
+    dst = 5
+    eaten = swallow(fabric.hosts[0].agent, lambda p: p.ptype == PacketType.ACK)
+    flow = Flow(1, 0, dst, 3 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    env.run(until=0.1)
+    assert eaten["eaten"] == 1
+    # destination completed the flow despite the lost ACK...
+    assert flow.completed
+    # ...and the source eventually cleaned up its state via re-RTS/re-ACK
+    assert fabric.hosts[0].agent.source.active_flow_count == 0
+
+
+def test_lost_data_burst_regranted():
+    env, fabric, collector, cfg = phost_sim()
+    dst = 5
+    eaten = swallow(
+        fabric.hosts[dst].agent,
+        lambda p: p.ptype == PacketType.DATA and p.seq in (2, 3, 4),
+        budget=3,
+    )
+    flow = Flow(1, 0, dst, 10 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    env.run(until=0.1)
+    assert eaten["eaten"] == 3
+    assert flow.completed
+    assert collector.data_pkts_retransmitted >= 3
+
+
+@pytest.mark.parametrize("loss_every", [7, 13])
+def test_sustained_random_loss_still_completes(loss_every):
+    """Periodic data loss across ALL hosts: every flow still finishes."""
+    env, fabric, collector, cfg = phost_sim(seed=5)
+    counter = {"n": 0}
+
+    for host in fabric.hosts:
+        original = host.agent.on_packet
+
+        def lossy(pkt, original=original):
+            if pkt.ptype == PacketType.DATA:
+                counter["n"] += 1
+                if counter["n"] % loss_every == 0:
+                    return  # drop
+            original(pkt)
+
+        host.agent.on_packet = lossy
+
+    flows = []
+    for i in range(30):
+        src = i % 12
+        dst = (i * 5 + 3) % 12
+        if src == dst:
+            dst = (dst + 1) % 12
+        flow = Flow(i, src, dst, 1460 * (1 + i % 12), i * 10e-6)
+        flows.append(flow)
+        start(env, fabric, collector, flow)
+    env.run(until=1.0)
+    assert all(f.completed for f in flows)
+    assert collector.data_pkts_retransmitted > 0

@@ -1,0 +1,115 @@
+"""Unit tests for pHost scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policies import (
+    EDFPolicy,
+    FIFOPolicy,
+    SRPTPolicy,
+    TenantCounters,
+    TenantFairPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.net.packet import Flow
+
+
+class FakeState:
+    """Minimal candidate: a flow plus a remaining-packet hint."""
+
+    def __init__(self, fid, remaining, arrival=0.0, deadline=None, tenant=0):
+        self.flow = Flow(fid, 0, 1, 1460, arrival, tenant=tenant, deadline=deadline)
+        self._remaining = remaining
+
+    def remaining_hint(self):
+        return self._remaining
+
+
+def test_srpt_picks_fewest_remaining():
+    policy = SRPTPolicy()
+    a = FakeState(1, remaining=10)
+    b = FakeState(2, remaining=3)
+    c = FakeState(3, remaining=7)
+    assert policy.select([a, b, c]) is b
+
+
+def test_srpt_breaks_ties_by_arrival():
+    policy = SRPTPolicy()
+    older = FakeState(1, remaining=5, arrival=0.0)
+    newer = FakeState(2, remaining=5, arrival=1.0)
+    assert policy.select([newer, older]) is older
+
+
+def test_edf_prefers_earliest_deadline():
+    policy = EDFPolicy()
+    late = FakeState(1, remaining=1, deadline=2.0)
+    soon = FakeState(2, remaining=99, deadline=1.0)
+    assert policy.select([late, soon]) is soon
+
+
+def test_edf_sorts_deadline_less_flows_last():
+    policy = EDFPolicy()
+    none = FakeState(1, remaining=1, deadline=None)
+    some = FakeState(2, remaining=99, deadline=5.0)
+    assert policy.select([none, some]) is some
+
+
+def test_fifo_picks_oldest():
+    policy = FIFOPolicy()
+    a = FakeState(1, remaining=1, arrival=2.0)
+    b = FakeState(2, remaining=9, arrival=1.0)
+    assert policy.select([a, b]) is b
+
+
+def test_tenant_fair_prefers_starved_tenant():
+    policy = TenantFairPolicy()
+    counters = TenantCounters()
+    counters.add(0, 100)   # tenant 0 has been served a lot
+    counters.add(1, 3)
+    t0 = FakeState(1, remaining=1, tenant=0)
+    t1 = FakeState(2, remaining=50, tenant=1)
+    assert policy.select([t0, t1], counters) is t1
+
+
+def test_tenant_fair_srpt_within_tenant():
+    policy = TenantFairPolicy()
+    counters = TenantCounters()
+    a = FakeState(1, remaining=9, tenant=0)
+    b = FakeState(2, remaining=2, tenant=0)
+    assert policy.select([a, b], counters) is b
+
+
+def test_tenant_fair_without_counters_degrades_gracefully():
+    policy = TenantFairPolicy()
+    a = FakeState(1, remaining=9, tenant=0)
+    b = FakeState(2, remaining=2, tenant=1)
+    assert policy.select([a, b], None) is b
+
+
+def test_select_empty_returns_none():
+    assert SRPTPolicy().select([]) is None
+
+
+def test_make_policy_registry():
+    assert set(available_policies()) == {"srpt", "edf", "fifo", "tenant_fair"}
+    assert isinstance(make_policy("srpt"), SRPTPolicy)
+    with pytest.raises(ValueError):
+        make_policy("wfq")
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 1000), st.floats(0, 10)),
+        min_size=1,
+        max_size=30,
+        unique_by=lambda t: t,
+    )
+)
+def test_property_srpt_selection_minimizes_key(entries):
+    policy = SRPTPolicy()
+    states = [FakeState(i, remaining=r, arrival=a) for i, (r, a) in enumerate(entries)]
+    chosen = policy.select(states)
+    assert chosen.remaining_hint() == min(s.remaining_hint() for s in states)

@@ -1,0 +1,92 @@
+"""Tests for the extended CLI modes: JSON output, sweeps, trace replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.sim.randoms import SeededRng
+from repro.workloads.distributions import imc10
+from repro.workloads.generator import FlowGenerator
+from repro.workloads.traffic_matrix import AllToAll
+from repro.workloads.trace_io import save_flows
+
+
+def test_run_json_output(capsys):
+    assert main(["--run", "phost", "imc10", "--scale", "tiny",
+                 "--flows", "40", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["protocol"] == "phost"
+    assert payload["n_completed"] == payload["n_flows"] == 40
+    assert payload["mean_slowdown"] >= 1.0
+    assert set(payload["drops"]) == {1, 2, 3, 4} or set(payload["drops"]) == {"1", "2", "3", "4"}
+
+
+def test_sweep_over_load(capsys):
+    assert main(["--sweep", "load", "phost", "imc10", "--scale", "tiny",
+                 "--values", "0.4,0.7"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep over load" in out
+    assert "0.4" in out and "0.7" in out
+
+
+def test_sweep_json(capsys):
+    assert main(["--sweep", "load", "pfabric", "imc10", "--scale", "tiny",
+                 "--values", "0.5", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure"] == "sweep:load"
+    assert len(payload["rows"]) == 1
+
+
+def test_sweep_unknown_field_errors(capsys):
+    assert main(["--sweep", "warp_factor", "phost", "imc10",
+                 "--scale", "tiny", "--values", "9"]) == 2
+    assert "no field" in capsys.readouterr().err
+
+
+def test_sweep_integer_field(capsys):
+    assert main(["--sweep", "n_flows", "phost", "imc10", "--scale", "tiny",
+                 "--values", "20,40"]) == 0
+    out = capsys.readouterr().out
+    assert "20" in out and "40" in out
+
+
+def test_replay_mode(tmp_path, capsys):
+    gen = FlowGenerator(imc10(), AllToAll(12), 10e9, 0.4, SeededRng(3))
+    trace = tmp_path / "flows.csv"
+    save_flows(gen.generate(25), trace)
+    assert main(["--replay", str(trace), "--scale", "tiny",
+                 "--protocol", "pfabric", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["protocol"] == "pfabric"
+    assert payload["n_completed"] == 25
+
+
+def test_figure_json(capsys):
+    assert main(["--figure", "fig2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure"] == "fig2"
+    assert payload["rows"]
+
+
+def test_profile_mode(capsys):
+    from repro.experiments.cli import main as cli_main
+
+    assert cli_main(["--profile", "phost", "imc10", "--scale", "tiny",
+                     "--flows", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "slowdown by flow size" in out
+    assert "slowdown trend:" in out
+
+
+def test_profile_json(capsys):
+    import json as json_mod
+    from repro.experiments.cli import main as cli_main
+
+    assert cli_main(["--profile", "pfabric", "imc10", "--scale", "tiny",
+                     "--flows", "60", "--json"]) == 0
+    payload = json_mod.loads(capsys.readouterr().out)
+    assert payload["figure"] == "profile"
+    assert payload["rows"]

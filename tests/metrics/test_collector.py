@@ -1,0 +1,100 @@
+"""Unit tests for the metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import Flow, Packet, PacketType, control_packet
+
+
+def data_pkt(flow, seq=0):
+    return Packet(PacketType.DATA, flow, seq, flow.src, flow.dst, flow.wire_bytes_of(seq))
+
+
+def test_arrival_and_completion_counters():
+    c = MetricsCollector()
+    c.expected_flows = 2
+    f1 = Flow(1, 0, 1, 1460 * 3, 0.0)
+    f2 = Flow(2, 0, 2, 1460, 0.0)
+    c.flow_arrived(f1, 0.0)
+    c.flow_arrived(f2, 1e-6)
+    assert c.pkts_arrived == 4
+    assert not c.all_complete
+    c.flow_completed(f1, 1e-3)
+    assert c.n_completed == 1
+    c.flow_completed(f2, 2e-3)
+    assert c.all_complete
+    assert c.payload_bytes_delivered == 1460 * 4
+    assert c.duration() == pytest.approx(2e-3)
+
+
+def test_completion_is_idempotent():
+    c = MetricsCollector()
+    f = Flow(1, 0, 1, 100, 0.0)
+    c.flow_arrived(f, 0.0)
+    c.flow_completed(f, 1.0)
+    c.flow_completed(f, 2.0)  # duplicate ACK path
+    assert c.n_completed == 1
+    assert f.finish == 1.0
+    assert c.payload_bytes_delivered == 100
+
+
+def test_all_complete_requires_expected_count():
+    c = MetricsCollector()
+    f = Flow(1, 0, 1, 100, 0.0)
+    c.flow_arrived(f, 0.0)
+    c.flow_completed(f, 1.0)
+    assert not c.all_complete        # expected_flows unset
+    c.expected_flows = 1
+    assert c.all_complete
+    c.expected_flows = 5
+    assert not c.all_complete
+
+
+def test_injection_vs_retransmission_accounting():
+    c = MetricsCollector()
+    f = Flow(1, 0, 1, 1460 * 2, 0.0)
+    c.data_sent(data_pkt(f, 0), first_time=True)
+    c.data_sent(data_pkt(f, 0), first_time=False)
+    c.data_sent(data_pkt(f, 1), first_time=True)
+    assert c.data_pkts_injected == 2
+    assert c.data_pkts_retransmitted == 1
+
+
+def test_pending_counter_for_stability():
+    c = MetricsCollector()
+    f = Flow(1, 0, 1, 1460 * 10, 0.0)
+    c.flow_arrived(f, 0.0)
+    assert c.pkts_pending == 10
+    c.data_sent(data_pkt(f, 0), first_time=True)
+    assert c.pkts_pending == 9
+
+
+def test_tenant_byte_accounting():
+    c = MetricsCollector()
+    f0 = Flow(1, 0, 1, 1460, 0.0, tenant=0)
+    f1 = Flow(2, 0, 2, 1460, 0.0, tenant=1)
+    c.data_delivered(data_pkt(f0))
+    c.data_delivered(data_pkt(f1))
+    c.data_delivered(data_pkt(f1))
+    assert c.delivered_bytes_by_tenant == {0: 1460, 1: 2920}
+
+
+def test_control_bytes_counted():
+    c = MetricsCollector()
+    f = Flow(1, 0, 1, 100, 0.0)
+    c.control_sent(control_packet(PacketType.RTS, f, 0, 0, 1, 0.0))
+    c.control_sent(control_packet(PacketType.ACK, f, 0, 1, 0, 0.0))
+    assert c.control_pkts_sent == 2
+    assert c.control_bytes_sent == 80
+
+
+def test_on_complete_hook_fires():
+    c = MetricsCollector()
+    seen = []
+    c.on_complete = lambda flow, now: seen.append((flow.fid, now))
+    f = Flow(7, 0, 1, 100, 0.0)
+    c.flow_arrived(f, 0.0)
+    c.flow_completed(f, 0.5)
+    assert seen == [(7, 0.5)]

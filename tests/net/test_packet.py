@@ -1,0 +1,77 @@
+"""Unit tests for flows and packets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import CONTROL_TYPES, Flow, Packet, PacketType, control_packet
+from repro.sim.units import HEADER_BYTES, MSS_BYTES
+
+
+def test_flow_packetization():
+    flow = Flow(1, 0, 1, 3000, 0.0)
+    assert flow.n_pkts == 3
+    assert flow.payload_of(0) == MSS_BYTES
+    assert flow.payload_of(1) == MSS_BYTES
+    assert flow.payload_of(2) == 3000 - 2 * MSS_BYTES
+    assert flow.wire_bytes_of(2) == 3000 - 2 * MSS_BYTES + HEADER_BYTES
+
+
+def test_flow_exact_multiple_has_full_last_packet():
+    flow = Flow(1, 0, 1, 2 * MSS_BYTES, 0.0)
+    assert flow.n_pkts == 2
+    assert flow.payload_of(1) == MSS_BYTES
+
+
+def test_zero_byte_flow_occupies_one_packet():
+    flow = Flow(1, 0, 1, 0, 0.0)
+    assert flow.n_pkts == 1
+    assert flow.payload_of(0) == 0
+    assert flow.wire_bytes_of(0) == HEADER_BYTES
+
+
+def test_flow_rejects_self_loop_and_negative_size():
+    with pytest.raises(ValueError):
+        Flow(1, 3, 3, 100, 0.0)
+    with pytest.raises(ValueError):
+        Flow(1, 0, 1, -5, 0.0)
+
+
+def test_payload_of_bounds_checked():
+    flow = Flow(1, 0, 1, 3000, 0.0)
+    with pytest.raises(ValueError):
+        flow.payload_of(3)
+    with pytest.raises(ValueError):
+        flow.payload_of(-1)
+
+
+def test_flow_completion_flag():
+    flow = Flow(1, 0, 1, 100, 0.0)
+    assert not flow.completed
+    flow.finish = 1.0
+    assert flow.completed
+
+
+def test_control_packet_shape():
+    flow = Flow(9, 2, 5, 100, 0.0)
+    pkt = control_packet(PacketType.TOKEN, flow, 4, 5, 2, born=1e-6)
+    assert pkt.size == HEADER_BYTES
+    assert pkt.priority == 0
+    assert pkt.is_control
+    assert pkt.seq == 4
+    assert (pkt.src, pkt.dst) == (5, 2)
+
+
+def test_data_packet_is_not_control():
+    flow = Flow(9, 2, 5, 100, 0.0)
+    pkt = Packet(PacketType.DATA, flow, 0, 2, 5, flow.wire_bytes_of(0))
+    assert not pkt.is_control
+    assert PacketType.DATA not in CONTROL_TYPES
+
+
+@given(st.integers(min_value=1, max_value=10_000_000))
+def test_property_payload_sums_to_flow_size(size):
+    flow = Flow(1, 0, 1, size, 0.0)
+    assert sum(flow.payload_of(i) for i in range(flow.n_pkts)) == size
+    assert all(0 < flow.payload_of(i) <= MSS_BYTES for i in range(flow.n_pkts - 1))

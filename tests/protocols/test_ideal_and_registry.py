@@ -1,0 +1,81 @@
+"""Tests for the ideal baseline, the protocol registry, and the fabric
+assumptions ablation knobs (oversubscription)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.net.topology import TopologyConfig
+from repro.protocols.base import ProtocolSpec
+from repro.protocols.registry import available_protocols, get_protocol, register_protocol
+
+TINY = dict(topology=TopologyConfig.small(), max_flow_bytes=120_000, n_flows=120)
+
+
+def test_registry_contains_all_four():
+    assert set(available_protocols()) >= {"phost", "pfabric", "fastpass", "ideal"}
+    with pytest.raises(ValueError):
+        get_protocol("udp")
+
+
+def test_register_custom_protocol_roundtrip():
+    base = get_protocol("phost")
+    custom = ProtocolSpec(
+        name="phost-custom-test",
+        agent_factory=base.agent_factory,
+        config_factory=base.config_factory,
+    )
+    register_protocol(custom)
+    assert get_protocol("phost-custom-test") is custom
+    spec = ExperimentSpec(protocol="phost-custom-test", workload="imc10", seed=1, **TINY)
+    assert run_experiment(spec).completion_rate == 1.0
+
+
+def test_ideal_completes_and_bounds_fastpass():
+    """The ideal scheduler (epoch=1, zero control latency) must beat the
+    paper's Fastpass model — the difference IS Fastpass's overhead."""
+    base = dict(workload="imc10", seed=6, load=0.6, **TINY)
+    ideal = run_experiment(ExperimentSpec(protocol="ideal", **base))
+    fastpass = run_experiment(ExperimentSpec(protocol="fastpass", **base))
+    assert ideal.completion_rate == 1.0
+    assert ideal.mean_slowdown() < fastpass.mean_slowdown()
+    assert ideal.drops.total_drops == 0
+
+
+def test_ideal_lone_flow_near_opt():
+    from repro.experiments.runner import build_simulation
+    from repro.net.packet import Flow
+
+    spec = ExperimentSpec(protocol="ideal", workload="fixed:1460", n_flows=1,
+                          topology=TopologyConfig.small(), seed=1)
+    env, fabric, collector, cfg = build_simulation(spec)
+    flow = Flow(1, 0, 5, 30 * 1460, 0.0)
+    collector.expected_flows = 1
+    env.schedule_at(0.0, fabric.hosts[0].agent.start_flow, flow)
+    env.run(until=0.01)
+    assert flow.completed
+    slowdown = (flow.finish - flow.arrival) / fabric.opt_fct(flow.size_bytes, 0, 5)
+    # per-slot scheduling adds at most ~a slot of alignment per grant
+    assert slowdown < 1.2
+
+
+def test_oversubscription_slows_things_down():
+    base = dict(protocol="phost", workload="imc10", seed=8, load=0.7, **TINY)
+    full = run_experiment(ExperimentSpec(**base))
+    oversub_topo = replace(TopologyConfig.small(), oversubscription=4.0)
+    params = dict(base)
+    params["topology"] = oversub_topo
+    oversub = run_experiment(ExperimentSpec(**params))
+    assert oversub.mean_slowdown() > full.mean_slowdown()
+    assert oversub.completion_rate == 1.0
+
+
+def test_oversubscription_validation():
+    with pytest.raises(ValueError):
+        TopologyConfig(oversubscription=0.5)
+    topo = TopologyConfig(oversubscription=2.0)
+    assert topo.core_bps == pytest.approx(20e9)

@@ -1,0 +1,102 @@
+"""Config-variant behaviour of the baselines + cross-protocol property
+tests over randomized micro-scenarios."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.runner import build_simulation, run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.net.packet import Flow
+from repro.net.topology import TopologyConfig
+from repro.protocols.fastpass.config import FastpassConfig
+from repro.protocols.pfabric.config import PFabricConfig
+
+
+def test_pfabric_tiny_window_still_completes():
+    spec = ExperimentSpec(
+        protocol="pfabric", workload="imc10", n_flows=60,
+        topology=TopologyConfig.small(), max_flow_bytes=100_000,
+        protocol_config=PFabricConfig(init_cwnd=2), seed=2,
+    )
+    result = run_experiment(spec)
+    assert result.completion_rate == 1.0
+    # a 2-packet window throttles long flows vs the default
+    default = run_experiment(spec.variant(protocol_config=None))
+    assert result.mean_slowdown() >= default.mean_slowdown()
+
+
+def test_pfabric_rto_backoff_applies():
+    spec = ExperimentSpec(
+        protocol="pfabric", workload="fixed:14600", n_flows=20,
+        topology=TopologyConfig.small(),
+        protocol_config=PFabricConfig(min_rto_backoff=2.0), seed=3,
+    )
+    assert run_experiment(spec).completion_rate == 1.0
+
+
+def test_fastpass_fifo_allocation_policy():
+    cfg = FastpassConfig(allocation_policy="fifo")
+    spec = ExperimentSpec(
+        protocol="fastpass", workload="imc10", n_flows=80,
+        topology=TopologyConfig.small(), max_flow_bytes=100_000,
+        protocol_config=cfg, seed=4,
+    )
+    fifo = run_experiment(spec)
+    srpt = run_experiment(spec.variant(protocol_config=FastpassConfig()))
+    assert fifo.completion_rate == 1.0
+    # FIFO cannot beat SRPT on mean slowdown (short flows wait behind long)
+    assert fifo.mean_slowdown() >= 0.95 * srpt.mean_slowdown()
+
+
+def test_fastpass_bigger_epoch_hurts_short_flows():
+    small = ExperimentSpec(
+        protocol="fastpass", workload="imc10", n_flows=100,
+        topology=TopologyConfig.small(), max_flow_bytes=50_000,
+        protocol_config=FastpassConfig(epoch_pkts=2), seed=5,
+    )
+    big = small.variant(protocol_config=FastpassConfig(epoch_pkts=16))
+    assert run_experiment(big).mean_slowdown() > run_experiment(small).mean_slowdown()
+
+
+# ----------------------------------------------------------------------
+# Property: any random micro-scenario completes with conserved counters
+# ----------------------------------------------------------------------
+
+@st.composite
+def micro_scenarios(draw):
+    n_hosts = 12
+    n_flows = draw(st.integers(min_value=1, max_value=20))
+    flows = []
+    for fid in range(n_flows):
+        src = draw(st.integers(0, n_hosts - 1))
+        dst = draw(st.integers(0, n_hosts - 2))
+        if dst >= src:
+            dst += 1
+        size = draw(st.integers(1, 60_000))
+        arrival = draw(st.floats(0, 200e-6))
+        flows.append((fid, src, dst, size, arrival))
+    return flows
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(micro_scenarios(), st.sampled_from(["phost", "pfabric", "fastpass"]))
+def test_property_random_scenarios_complete(scenario, protocol):
+    spec = ExperimentSpec(
+        protocol=protocol, workload="fixed:1", n_flows=1,
+        topology=TopologyConfig.small(), seed=1,
+    )
+    env, fabric, collector, _ = build_simulation(spec)
+    flows = [Flow(fid, src, dst, size, arrival)
+             for fid, src, dst, size, arrival in scenario]
+    collector.expected_flows = len(flows)
+    for f in flows:
+        env.schedule_at(f.arrival, fabric.hosts[f.src].agent.start_flow, f)
+    env.run(until=1.0)
+    assert all(f.completed for f in flows)
+    assert collector.data_pkts_injected == sum(f.n_pkts for f in flows)
+    assert collector.payload_bytes_delivered == sum(f.size_bytes for f in flows)
+    for f in flows:
+        opt = fabric.opt_fct(f.size_bytes, f.src, f.dst)
+        assert f.finish - f.arrival >= opt * (1 - 1e-9)

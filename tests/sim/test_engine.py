@@ -1,0 +1,160 @@
+"""Unit tests for the event loop."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import EventLoop, SimulationError
+
+
+def test_events_fire_in_time_order():
+    env = EventLoop()
+    fired = []
+    env.schedule_at(3e-6, fired.append, "c")
+    env.schedule_at(1e-6, fired.append, "a")
+    env.schedule_at(2e-6, fired.append, "b")
+    env.run()
+    assert fired == ["a", "b", "c"]
+    assert env.now == pytest.approx(3e-6)
+
+
+def test_equal_times_fire_fifo():
+    env = EventLoop()
+    fired = []
+    for tag in range(10):
+        env.schedule_at(1e-6, fired.append, tag)
+    env.run()
+    assert fired == list(range(10))
+
+
+def test_relative_schedule_accumulates_from_now():
+    env = EventLoop()
+    times = []
+
+    def chain(depth):
+        times.append(env.now)
+        if depth:
+            env.schedule(1e-6, chain, depth - 1)
+
+    env.schedule(1e-6, chain, 2)
+    env.run()
+    assert times == pytest.approx([1e-6, 2e-6, 3e-6])
+
+
+def test_cancel_prevents_execution():
+    env = EventLoop()
+    fired = []
+    keep = env.schedule_at(1e-6, fired.append, "keep")
+    drop = env.schedule_at(2e-6, fired.append, "drop")
+    EventLoop.cancel(drop)
+    env.run()
+    assert fired == ["keep"]
+    assert not EventLoop.is_pending(drop)
+    assert not EventLoop.is_pending(keep)  # fired entries are not pending
+
+
+def test_cancel_none_and_cancel_after_fire_are_noops():
+    env = EventLoop()
+    EventLoop.cancel(None)
+    entry = env.schedule_at(1e-6, lambda: None)
+    env.run()
+    EventLoop.cancel(entry)  # no error
+
+
+def test_run_until_advances_clock_without_firing_later_events():
+    env = EventLoop()
+    fired = []
+    env.schedule_at(5e-6, fired.append, "late")
+    executed = env.run(until=1e-6)
+    assert executed == 0
+    assert fired == []
+    assert env.now == pytest.approx(1e-6)
+    env.run()
+    assert fired == ["late"]
+
+
+def test_run_until_with_empty_heap_advances_clock():
+    env = EventLoop()
+    env.run(until=7e-6)
+    assert env.now == pytest.approx(7e-6)
+
+
+def test_stop_ends_run_early():
+    env = EventLoop()
+    fired = []
+    env.schedule_at(1e-6, fired.append, 1)
+    env.schedule_at(2e-6, lambda: env.stop())
+    env.schedule_at(3e-6, fired.append, 3)
+    env.run()
+    assert fired == [1]
+    assert env.pending_count() == 1
+
+
+def test_max_events_limit():
+    env = EventLoop()
+    for i in range(10):
+        env.schedule_at(i * 1e-6, lambda: None)
+    executed = env.run(max_events=4)
+    assert executed == 4
+    assert env.pending_count() == 6
+
+
+def test_scheduling_in_past_raises():
+    env = EventLoop()
+    env.schedule_at(1e-6, lambda: None)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.schedule_at(0.5e-6, lambda: None)
+    with pytest.raises(SimulationError):
+        env.schedule(-1e-9, lambda: None)
+
+
+def test_events_processed_counter_accumulates():
+    env = EventLoop()
+    for i in range(5):
+        env.schedule_at(i * 1e-6, lambda: None)
+    env.run()
+    assert env.events_processed == 5
+    env.schedule(1e-6, lambda: None)
+    env.run()
+    assert env.events_processed == 6
+
+
+def test_peek_time_skips_cancelled():
+    env = EventLoop()
+    first = env.schedule_at(1e-6, lambda: None)
+    env.schedule_at(2e-6, lambda: None)
+    EventLoop.cancel(first)
+    assert env.peek_time() == pytest.approx(2e-6)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=60))
+def test_property_execution_is_sorted(times):
+    """Whatever order events are scheduled in, they execute sorted."""
+    env = EventLoop()
+    seen = []
+    for t in times:
+        env.schedule_at(t, lambda t=t: seen.append(t))
+    env.run()
+    assert seen == sorted(times)
+    assert len(seen) == len(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=40),
+    st.data(),
+)
+def test_property_cancellation_removes_exactly_chosen(times, data):
+    env = EventLoop()
+    entries = []
+    seen = []
+    for i, t in enumerate(times):
+        entries.append(env.schedule_at(t, lambda i=i: seen.append(i)))
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(times) - 1), max_size=len(times))
+    )
+    for i in to_cancel:
+        EventLoop.cancel(entries[i])
+    env.run()
+    assert set(seen) == set(range(len(times))) - to_cancel

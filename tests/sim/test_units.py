@@ -1,0 +1,47 @@
+"""Unit tests for wire constants and unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import units
+
+
+def test_constants_match_paper():
+    assert units.MTU_BYTES == 1500
+    assert units.HEADER_BYTES == 40       # "All control packets ... are of 40 bytes"
+    assert units.MSS_BYTES == 1460
+    assert units.CONTROL_BYTES == 40
+
+
+def test_tx_time_10g_mtu():
+    # One MTU at 10 Gbps is 1.2 us — the paper's token interval base.
+    assert units.tx_time(1500, units.gbps(10)) == pytest.approx(1.2e-6)
+
+
+def test_unit_conversions():
+    assert units.gbps(40) == 40e9
+    assert units.usec(45) == pytest.approx(45e-6)
+    assert units.nsec(200) == pytest.approx(200e-9)
+    assert units.msec(1.5) == pytest.approx(1.5e-3)
+
+
+@pytest.mark.parametrize(
+    "size,expected",
+    [(0, 1), (1, 1), (1460, 1), (1461, 2), (2920, 2), (2921, 3), (100_000_000, 68_494)],
+)
+def test_packets_for_bytes(size, expected):
+    assert units.packets_for_bytes(size) == expected
+
+
+def test_wire_bytes_adds_header():
+    assert units.wire_bytes(1460) == 1500
+    assert units.wire_bytes(1) == 41
+
+
+@given(st.integers(min_value=1, max_value=10**10))
+def test_property_packet_count_covers_size_minimally(size):
+    n = units.packets_for_bytes(size)
+    assert n * units.MSS_BYTES >= size
+    assert (n - 1) * units.MSS_BYTES < size

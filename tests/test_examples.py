@@ -1,0 +1,45 @@
+"""Smoke tests: the fast examples must run end to end.
+
+The heavier demo scripts (protocol_comparison, multi_tenant_fairness,
+incast_pattern, deadline_scheduling, custom_policy) are exercised by the
+benchmark-scale figure drivers they mirror; here we execute the quick
+ones exactly as a user would (as __main__).
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "mean slowdown" in out
+    assert "completed        : 300/300" in out
+
+
+def test_token_dynamics(capsys):
+    out = run_example("token_dynamics.py", capsys)
+    assert "tokens expired unused at the sender" in out
+    assert "FCT" in out
+
+
+def test_replay_trace(capsys):
+    out = run_example("replay_trace.py", capsys)
+    assert "bit-identical" in out
+
+
+def test_examples_all_have_main_guard():
+    for path in EXAMPLES.glob("*.py"):
+        text = path.read_text()
+        assert '__name__ == "__main__"' in text, path.name
+        assert '"""' in text.split("\n", 2)[1] or text.startswith("#!"), path.name

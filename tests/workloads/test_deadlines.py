@@ -1,0 +1,47 @@
+"""Tests for deadline assignment (Figure 5c setup)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import Flow
+from repro.net.topology import Fabric, TopologyConfig
+from repro.sim.engine import EventLoop
+from repro.sim.randoms import SeededRng
+from repro.workloads.deadlines import assign_deadlines
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(EventLoop(), TopologyConfig.small(), SeededRng(1))
+
+
+def test_deadlines_are_absolute_and_floored(fabric):
+    flows = [Flow(i, 0, 5, 1_000_000, arrival=0.5) for i in range(200)]
+    assign_deadlines(flows, fabric, SeededRng(2))
+    floor = 1.25 * fabric.opt_fct(1_000_000, 0, 5)
+    for f in flows:
+        assert f.deadline is not None
+        assert f.deadline >= f.arrival + floor
+
+
+def test_mean_slack_roughly_exponential_mean(fabric):
+    flows = [Flow(i, 0, 5, 1460, arrival=0.0) for i in range(5000)]
+    assign_deadlines(flows, fabric, SeededRng(3), mean=1000e-6)
+    slacks = [f.deadline - f.arrival for f in flows]
+    # tiny flows rarely hit the floor, so the mean tracks the exponential
+    assert sum(slacks) / len(slacks) == pytest.approx(1000e-6, rel=0.1)
+
+
+def test_floor_dominates_for_huge_flows(fabric):
+    flows = [Flow(i, 0, 5, 500_000_000, arrival=0.0) for i in range(20)]
+    assign_deadlines(flows, fabric, SeededRng(4), mean=1e-6)
+    floor = 1.25 * fabric.opt_fct(500_000_000, 0, 5)
+    assert all(f.deadline == pytest.approx(floor) for f in flows)
+
+
+def test_validation(fabric):
+    with pytest.raises(ValueError):
+        assign_deadlines([], fabric, SeededRng(1), mean=0)
+    with pytest.raises(ValueError):
+        assign_deadlines([], fabric, SeededRng(1), floor_factor=0.5)

@@ -1,0 +1,149 @@
+"""Unit + property tests for flow-size distributions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.randoms import SeededRng
+from repro.sim.units import MSS_BYTES
+from repro.workloads.distributions import (
+    LONG_FLOW_THRESHOLD,
+    WORKLOADS,
+    EmpiricalCDF,
+    bimodal,
+    data_mining,
+    fixed_size,
+    imc10,
+    web_search,
+)
+
+
+def test_registry_has_the_three_traces():
+    assert set(WORKLOADS) == {"websearch", "datamining", "imc10"}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_trace_cdfs_are_valid_and_heavy_tailed(name):
+    dist = WORKLOADS[name]()
+    rng = SeededRng(1)
+    samples = [dist.sample(rng) for _ in range(5000)]
+    assert all(1 <= s <= dist.max_bytes for s in samples)
+    mean = sum(samples) / len(samples)
+    median = sorted(samples)[len(samples) // 2]
+    assert mean > 3 * median  # heavy tail: mean far above median
+
+
+def test_imc10_tail_capped_at_3mb_datamining_at_1gb():
+    assert imc10().max_bytes == 3_000_000
+    assert data_mining().max_bytes == 1_000_000_000
+    assert web_search().max_bytes == 30_000_000
+
+
+def test_short_flow_majorities_match_paper_claims():
+    """Paper: short flows dominate counts; DataMining/IMC10 have many
+    more tiny flows than WebSearch."""
+    ws, dm, im = web_search(), data_mining(), imc10()
+    assert dm.cdf_at(1000) >= 0.5
+    assert im.cdf_at(1000) >= 0.5
+    assert ws.cdf_at(1000) < 0.1
+    # Fig. 4 split: most flows are "short" in every workload
+    assert ws.cdf_at(LONG_FLOW_THRESHOLD["websearch"]) > 0.8
+    assert dm.cdf_at(LONG_FLOW_THRESHOLD["datamining"]) > 0.8
+    assert im.cdf_at(LONG_FLOW_THRESHOLD["imc10"]) > 0.8
+
+
+def test_cdf_at_interpolates():
+    dist = EmpiricalCDF([(100, 0.5), (200, 1.0)])
+    assert dist.cdf_at(50) == 0.0
+    assert dist.cdf_at(100) == 0.5
+    assert dist.cdf_at(150) == pytest.approx(0.75)
+    assert dist.cdf_at(200) == 1.0
+    assert dist.cdf_at(10**9) == 1.0
+
+
+def test_mean_analytic_matches_sampled():
+    dist = data_mining()
+    rng = SeededRng(2)
+    n = 200_000
+    sampled = sum(dist.sample(rng) for _ in range(n)) / n
+    assert sampled == pytest.approx(dist.mean(), rel=0.15)
+
+
+def test_truncation_renormalizes():
+    dist = data_mining().truncated(1_000_000)
+    assert dist.max_bytes == 1_000_000
+    rng = SeededRng(3)
+    assert all(dist.sample(rng) <= 1_000_000 for _ in range(2000))
+    assert dist.mean() < data_mining().mean()
+
+
+def test_truncation_below_smallest_size_rejected():
+    with pytest.raises(ValueError):
+        data_mining().truncated(50)
+
+
+def test_bimodal_modes_and_fraction():
+    dist = bimodal(0.75)
+    rng = SeededRng(4)
+    samples = [dist.sample(rng) for _ in range(4000)]
+    short, long_ = 3 * MSS_BYTES, 700 * MSS_BYTES
+    assert set(samples) <= {short, long_}
+    frac = samples.count(short) / len(samples)
+    assert frac == pytest.approx(0.75, abs=0.03)
+
+
+def test_bimodal_extremes_are_degenerate():
+    rng = SeededRng(5)
+    assert bimodal(1.0).sample(rng) == 3 * MSS_BYTES
+    assert bimodal(0.0).sample(rng) == 700 * MSS_BYTES
+    with pytest.raises(ValueError):
+        bimodal(1.5)
+
+
+def test_fixed_size_always_same():
+    dist = fixed_size(12345)
+    rng = SeededRng(6)
+    assert all(dist.sample(rng) == 12345 for _ in range(100))
+    assert dist.mean() == 12345
+
+
+@pytest.mark.parametrize(
+    "points",
+    [
+        [],                                   # empty
+        [(100, 0.5)],                         # doesn't reach 1.0
+        [(100, 0.5), (50, 1.0)],              # sizes not increasing
+        [(100, 0.8), (200, 0.5)],             # cdf decreasing
+        [(-5, 1.0)],                          # non-positive size
+        [(100, 1.2)],                         # probability > 1
+    ],
+)
+def test_invalid_cdfs_rejected(points):
+    with pytest.raises(ValueError):
+        EmpiricalCDF(points)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 10**7), st.floats(0.01, 1.0)),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(0, 2**30),
+)
+def test_property_samples_within_support(raw_points, seed):
+    # build a valid CDF from arbitrary raw material
+    sizes = sorted({s for s, _ in raw_points})
+    probs = sorted(p for _, p in raw_points)[: len(sizes)]
+    while len(probs) < len(sizes):
+        probs.append(1.0)
+    probs[-1] = 1.0
+    dist = EmpiricalCDF(list(zip(sizes, probs)))
+    rng = SeededRng(seed)
+    for _ in range(50):
+        s = dist.sample(rng)
+        assert 1 <= s <= dist.max_bytes
+    assert dist.cdf_at(dist.max_bytes) == 1.0
+    assert 0 < dist.mean() <= dist.max_bytes

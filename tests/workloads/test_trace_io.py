@@ -1,0 +1,121 @@
+"""Tests for flow-trace CSV import/export and trace replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_flow_list
+from repro.experiments.spec import ExperimentSpec
+from repro.net.packet import Flow
+from repro.net.topology import TopologyConfig
+from repro.sim.randoms import SeededRng
+from repro.workloads.distributions import imc10
+from repro.workloads.generator import FlowGenerator
+from repro.workloads.traffic_matrix import AllToAll
+from repro.workloads.trace_io import TraceFormatError, load_flows, save_flows
+
+
+def sample_flows(n=20, seed=1):
+    gen = FlowGenerator(imc10(), AllToAll(12), 10e9, 0.5, SeededRng(seed))
+    flows = gen.generate(n)
+    flows[0].tenant = 3
+    flows[1].deadline = 0.125
+    return flows
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    path = tmp_path / "trace.csv"
+    flows = sample_flows()
+    assert save_flows(flows, path) == len(flows)
+    loaded = load_flows(path, n_hosts=12)
+    assert len(loaded) == len(flows)
+    for a, b in zip(flows, loaded):
+        assert (a.arrival, a.src, a.dst, a.size_bytes, a.tenant, a.deadline) == (
+            b.arrival, b.src, b.dst, b.size_bytes, b.tenant, b.deadline,
+        )
+
+
+def test_loaded_flows_sorted_and_renumbered(tmp_path):
+    path = tmp_path / "trace.csv"
+    flows = [
+        Flow(100, 0, 1, 1460, 3e-3),
+        Flow(200, 1, 2, 1460, 1e-3),
+    ]
+    save_flows(flows, path)
+    loaded = load_flows(path, first_fid=10)
+    assert [f.fid for f in loaded] == [10, 11]
+    assert loaded[0].arrival < loaded[1].arrival
+
+
+def test_minimal_four_column_trace(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("arrival,src,dst,size_bytes\n0.001,0,5,14600\n")
+    (flow,) = load_flows(path)
+    assert (flow.src, flow.dst, flow.size_bytes) == (0, 5, 14600)
+    assert flow.tenant == 0 and flow.deadline is None
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "",                                            # empty file
+        "time,who\n",                                  # wrong header
+        "arrival,src,dst,size_bytes\nx,0,1,100\n",     # bad number
+        "arrival,src,dst,size_bytes\n-1,0,1,100\n",    # negative arrival
+        "arrival,src,dst,size_bytes\n0,3,3,100\n",     # self loop
+        "arrival,src,dst,size_bytes\n0,0,1,-5\n",      # negative size
+    ],
+)
+def test_malformed_traces_rejected(tmp_path, body):
+    path = tmp_path / "bad.csv"
+    path.write_text(body)
+    with pytest.raises(TraceFormatError):
+        load_flows(path)
+
+
+def test_host_range_validation(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("arrival,src,dst,size_bytes\n0,0,99,100\n")
+    with pytest.raises(TraceFormatError):
+        load_flows(path, n_hosts=12)
+    assert load_flows(path) != []  # fine without a fabric bound
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text("arrival,src,dst,size_bytes\n\n0,0,1,100\n\n")
+    assert len(load_flows(path)) == 1
+
+
+def test_replay_through_simulator(tmp_path):
+    """End to end: generate -> save -> load -> simulate -> all complete."""
+    path = tmp_path / "trace.csv"
+    save_flows(sample_flows(30, seed=9), path)
+    spec = ExperimentSpec(
+        protocol="phost",
+        workload="fixed:1",  # ignored by run_flow_list
+        n_flows=1,
+        topology=TopologyConfig.small(),
+        seed=9,
+    )
+    flows = load_flows(path, n_hosts=12)
+    result = run_flow_list(spec, flows)
+    assert result.n_completed == len(flows)
+    assert result.mean_slowdown() >= 1.0
+
+
+def test_replay_is_identical_to_original_run(tmp_path):
+    """Simulating a saved trace must reproduce the original FCTs."""
+    spec = ExperimentSpec(
+        protocol="phost",
+        workload="fixed:1",
+        n_flows=1,
+        topology=TopologyConfig.small(),
+        seed=4,
+    )
+    original = sample_flows(25, seed=4)
+    first = run_flow_list(spec, [Flow(f.fid, f.src, f.dst, f.size_bytes, f.arrival) for f in original])
+    path = tmp_path / "trace.csv"
+    save_flows(original, path)
+    second = run_flow_list(spec, load_flows(path, n_hosts=12))
+    assert [r.finish for r in first.records] == [r.finish for r in second.records]

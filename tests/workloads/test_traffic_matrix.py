@@ -1,0 +1,67 @@
+"""Tests for traffic matrices."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.randoms import SeededRng
+from repro.workloads.traffic_matrix import AllToAll, IncastPattern, Permutation
+
+
+@given(st.integers(2, 64), st.integers(0, 2**30))
+def test_all_to_all_never_self(n, seed):
+    tm = AllToAll(n)
+    rng = SeededRng(seed)
+    for _ in range(50):
+        src, dst = tm.sample_pair(rng)
+        assert 0 <= src < n and 0 <= dst < n
+        assert src != dst
+
+
+def test_all_to_all_covers_all_sources():
+    tm = AllToAll(8)
+    rng = SeededRng(1)
+    sources = {tm.sample_pair(rng)[0] for _ in range(2000)}
+    assert sources == set(range(8))
+
+
+def test_traffic_matrix_needs_two_hosts():
+    with pytest.raises(ValueError):
+        AllToAll(1)
+
+
+def test_permutation_is_fixed_derangement():
+    rng = SeededRng(3)
+    tm = Permutation(12, rng)
+    assert sorted(tm.perm) == list(range(12))
+    assert all(tm.perm[i] != i for i in range(12))
+    for _ in range(100):
+        src, dst = tm.sample_pair(rng)
+        assert dst == tm.destination_of(src)
+
+
+def test_permutation_reproducible_from_seed():
+    a = Permutation(20, SeededRng(5))
+    b = Permutation(20, SeededRng(5))
+    assert a.perm == b.perm
+
+
+def test_incast_request_shape():
+    pattern = IncastPattern(n_hosts=16, n_senders=5, total_bytes=1_000_000)
+    assert pattern.bytes_per_sender == 200_000
+    rng = SeededRng(4)
+    receiver, senders = pattern.make_request(rng)
+    assert 0 <= receiver < 16
+    assert len(senders) == 5
+    assert len(set(senders)) == 5
+    assert receiver not in senders
+
+
+def test_incast_validation():
+    with pytest.raises(ValueError):
+        IncastPattern(16, 0, 1000)
+    with pytest.raises(ValueError):
+        IncastPattern(16, 16, 1000)      # receiver excluded
+    with pytest.raises(ValueError):
+        IncastPattern(16, 8, 4)          # < 1 byte per sender
