@@ -13,7 +13,7 @@ whether over-committing helps, hurts, or washes out on the bimodal
 worst case (50% short flows) — an experiment the paper left open.
 """
 
-from repro.core.config import PHostConfig
+from repro.protocols.phost.config import PHostConfig
 from repro.experiments.defaults import make_spec
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import run_experiment

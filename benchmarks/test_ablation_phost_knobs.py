@@ -13,7 +13,7 @@ Expected: the paper default is the best configuration; removing free
 tokens visibly hurts mean slowdown on short-flow workloads.
 """
 
-from repro.core.config import PHostConfig
+from repro.protocols.phost.config import PHostConfig
 from repro.experiments.defaults import make_spec
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import run_experiment

@@ -11,7 +11,7 @@ Run:  python examples/custom_policy.py
 """
 
 from repro import ExperimentSpec, PHostConfig, TopologyConfig, run_experiment
-from repro.core.policies import SchedulingPolicy, register_policy
+from repro.protocols.phost.policies import SchedulingPolicy, register_policy
 
 
 class SJFPolicy(SchedulingPolicy):

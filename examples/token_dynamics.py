@@ -25,7 +25,8 @@ def main() -> None:
         topology=TopologyConfig.small(),
         seed=1,
     )
-    env, fabric, collector, cfg = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector, cfg = ctx.env, ctx.fabric, ctx.collector, ctx.config
 
     sender = 0
     dst_a, dst_b = 4, 8  # two different racks

@@ -17,7 +17,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
-from repro.core import PHostAgent, PHostConfig
+from repro.protocols.phost import PHostAgent, PHostConfig
 from repro.experiments import (
     ExperimentResult,
     ExperimentSpec,
@@ -31,7 +31,7 @@ from repro.net import Fabric, FatTreeConfig, TopologyConfig
 from repro.protocols import available_protocols, get_protocol
 from repro.protocols.fastpass import FastpassConfig
 from repro.protocols.pfabric import PFabricConfig
-from repro.sim import EventLoop, SeededRng
+from repro.sim import EventLoop, SeededRng, SimContext
 from repro.trace import PacketTracer, QueueMonitor
 from repro.workloads.trace_io import load_flows, save_flows
 
@@ -55,6 +55,7 @@ __all__ = [
     "Fabric",
     "EventLoop",
     "SeededRng",
+    "SimContext",
     "PacketTracer",
     "QueueMonitor",
     "load_flows",

@@ -1,42 +1,72 @@
-"""pHost — the paper's primary contribution (S5).
+"""Deprecated alias package — pHost moved to :mod:`repro.protocols.phost`.
 
-A fully decentralized, receiver-driven datacenter transport over a
-commodity fabric:
+pHost now lives alongside the other transports in the protocols package
+(``repro.protocols.phost``).  Importing ``repro.core`` (or any of its
+old submodules: ``agent``, ``config``, ``destination``, ``policies``,
+``source``, ``tokens``) keeps working, but emits a single
+:class:`DeprecationWarning` and simply re-exports the relocated modules.
+Update imports::
 
-* sources announce flows with a 40-byte RTS;
-* destinations grant one *token* per MTU transmission time to the flow
-  their scheduling policy picks; a token authorizes one specific data
-  packet and expires 1.5 MTU-times after receipt;
-* sources hold a small budget of *free tokens* per flow so short flows
-  start at t=0;
-* destinations *downgrade* sources that sit on tokens (a BDP's worth of
-  unresponded tokens) and later re-issue tokens for missing packets,
-  which doubles as the loss-recovery path;
-* all control packets ride the highest priority band; data uses the
-  remaining commodity priority levels.
+    from repro.core import PHostAgent          # deprecated
+    from repro.protocols.phost import PHostAgent  # canonical
 
-The four degrees of freedom called out in §2.2 of the paper are
-first-class here: grant policy, spend policy, priority policy and the
-free-token budget — see :mod:`repro.core.policies` and
-:class:`repro.core.config.PHostConfig`.
+This shim will be removed in a future release.
 """
 
-from repro.core.config import PHostConfig
-from repro.core.agent import PHostAgent
-from repro.core.policies import (
+from __future__ import annotations
+
+import sys
+import warnings
+
+warnings.warn(
+    "repro.core has moved to repro.protocols.phost; the repro.core alias "
+    "will be removed in a future release",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.protocols.phost import (  # noqa: E402
     EDFPolicy,
     FIFOPolicy,
+    PHOST_SPEC,
+    PHostAgent,
+    PHostConfig,
     SRPTPolicy,
     TenantFairPolicy,
     make_policy,
+    register_policy,
 )
+from repro.protocols.phost import (  # noqa: E402
+    agent,
+    config,
+    destination,
+    policies,
+    source,
+    tokens,
+)
+
+# Alias the old submodule names so `import repro.core.agent` and
+# `from repro.core.config import PHostConfig` still resolve — to the
+# *same* module objects as the canonical package (no duplicated state:
+# registries like policies._POLICIES stay singletons).
+for _name, _module in (
+    ("agent", agent),
+    ("config", config),
+    ("destination", destination),
+    ("policies", policies),
+    ("source", source),
+    ("tokens", tokens),
+):
+    sys.modules[__name__ + "." + _name] = _module
 
 __all__ = [
     "PHostConfig",
     "PHostAgent",
+    "PHOST_SPEC",
     "SRPTPolicy",
     "EDFPolicy",
     "FIFOPolicy",
     "TenantFairPolicy",
     "make_policy",
+    "register_policy",
 ]

@@ -24,7 +24,7 @@ from repro.experiments.runner import (
     run_tenant_fairness,
 )
 from repro.experiments.spec import ExperimentResult, ExperimentSpec
-from repro.core.config import PHostConfig
+from repro.protocols.phost.config import PHostConfig
 from repro.workloads.distributions import LONG_FLOW_THRESHOLD, WORKLOADS, bimodal
 
 __all__ = [

@@ -14,6 +14,7 @@ the parallel results are identical to serial ones (asserted in
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import List, Optional, Sequence
 
 from repro.experiments.runner import run_experiment
@@ -27,20 +28,33 @@ def _worker(spec: ExperimentSpec) -> ExperimentResult:
     return run_experiment(spec)
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``sched_getaffinity`` respects container/cgroup CPU masks, so a CI
+    job pinned to 2 cores gets a 2-process pool instead of oversubscribing
+    the machine's full core count; ``cpu_count`` is the portable fallback.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return multiprocessing.cpu_count()
+
+
 def run_experiments_parallel(
     specs: Sequence[ExperimentSpec],
     processes: Optional[int] = None,
 ) -> List[ExperimentResult]:
     """Run many specs, using up to ``processes`` worker processes.
 
-    ``processes=None`` uses ``min(len(specs), cpu_count)``.  Results are
-    returned in the order of ``specs``.
+    ``processes=None`` uses ``min(len(specs), available CPUs)`` (CPU
+    affinity aware).  Results are returned in the order of ``specs``.
     """
     specs = list(specs)
     if not specs:
         return []
     if processes is None:
-        processes = min(len(specs), multiprocessing.cpu_count())
+        processes = min(len(specs), _available_cpus())
     if processes < 1:
         raise ValueError("processes must be >= 1")
     if processes == 1 or len(specs) == 1:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.drops import DropStats
@@ -19,6 +19,7 @@ from repro.metrics.throughput import per_host_goodput_gbps
 from repro.net.packet import Flow
 from repro.net.topology import Fabric, TopologyConfig
 from repro.protocols.registry import get_protocol
+from repro.sim.context import SimContext
 from repro.sim.engine import EventLoop
 from repro.sim.randoms import SeededRng
 from repro.workloads.deadlines import assign_deadlines
@@ -73,13 +74,13 @@ def _resolve_tm(spec: ExperimentSpec, n_hosts: int, rng: SeededRng):
     return AllToAll(n_hosts)
 
 
-def build_simulation(
-    spec: ExperimentSpec,
-) -> Tuple[EventLoop, Fabric, MetricsCollector, Any]:
+def build_simulation(spec: ExperimentSpec) -> SimContext:
     """Instantiate env + fabric + agents for a spec (no flows yet).
 
-    Returns (env, fabric, collector, protocol_config).  Exposed so tests
-    and custom drivers (incast, examples) can reuse the wiring.
+    Returns the run's :class:`~repro.sim.context.SimContext` (event
+    loop, RNG, fabric, collector, resolved protocol config, protocol
+    shared state, instrumentation hooks).  Exposed so tests and custom
+    drivers (incast, examples) can reuse the wiring.
     """
     env = EventLoop()
     rng = SeededRng(spec.seed)
@@ -96,17 +97,19 @@ def build_simulation(
         queue_factory=lambda cap: proto.switch_queue_factory(cap),
         host_queue_factory=lambda cap: proto.host_queue_factory(cap),
     )
+    ctx = SimContext(env, rng, fabric, collector)
     if spec.protocol_config is not None:
         config = spec.protocol_config
         if hasattr(config, "resolve"):
             config = config.resolve(topo)
+        ctx.config = config
     else:
-        config = proto.config_factory(fabric)
-    shared = proto.build_shared(env, fabric, collector, config)
-    for host in fabric.hosts:
-        agent = proto.agent_factory(host, env, fabric, collector, config, shared)
-        host.install_agent(agent)
-    return env, fabric, collector, config
+        ctx.config = proto.build_config(ctx)
+    ctx.shared = proto.build_shared(ctx)
+    proto.install_agents(ctx)
+    for hook in spec.instruments:
+        ctx.add_hook(hook)
+    return ctx
 
 
 def _generate_flows(spec: ExperimentSpec, fabric: Fabric, rng: SeededRng) -> List[Flow]:
@@ -149,29 +152,28 @@ def _default_time_guard(spec: ExperimentSpec, flows: List[Flow]) -> float:
 
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Run one simulation to completion (or its time guard)."""
-    env, fabric, collector, _config = build_simulation(spec)
+    ctx = build_simulation(spec)
     rng = SeededRng(spec.seed)
-    flows = _generate_flows(spec, fabric, rng)
-    return run_flow_list(spec, flows, env, fabric, collector)
+    flows = _generate_flows(spec, ctx.fabric, rng)
+    return run_flow_list(spec, flows, ctx)
 
 
 def run_flow_list(
     spec: ExperimentSpec,
     flows: List[Flow],
-    env: Optional[EventLoop] = None,
-    fabric: Optional[Fabric] = None,
-    collector: Optional[MetricsCollector] = None,
+    ctx: Optional[SimContext] = None,
 ) -> ExperimentResult:
     """Run an explicit flow list (e.g. loaded from a trace file).
 
     ``spec`` supplies the protocol/topology wiring and run controls; the
-    workload fields are ignored.  Pass the triple from a prior
+    workload fields are ignored.  Pass the context from a prior
     :func:`build_simulation` call to reuse custom wiring (tracers,
     monitors); otherwise it is built here.
     """
     wall_start = time.perf_counter()
-    if env is None or fabric is None or collector is None:
-        env, fabric, collector, _config = build_simulation(spec)
+    if ctx is None:
+        ctx = build_simulation(spec)
+    env, fabric, collector = ctx.env, ctx.fabric, ctx.collector
     flows = sorted(flows, key=lambda f: f.arrival)
     collector.total_pkts_offered = sum(f.n_pkts for f in flows)
     collector.expected_flows = len(flows)
@@ -263,7 +265,8 @@ def run_incast(
         protocol_config=protocol_config,
         seed=seed,
     )
-    env, fabric, collector, _config = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector = ctx.env, ctx.fabric, ctx.collector
     rng = SeededRng(seed).stream("incast")
     pattern = IncastPattern(fabric.config.n_hosts, n_senders, total_bytes)
     result = IncastResult(n_senders=n_senders, total_bytes=total_bytes, n_requests=n_requests)
@@ -361,7 +364,8 @@ def run_tenant_fairness(
         protocol_config=protocol_config,
         seed=seed,
     )
-    env, fabric, collector, _config = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector = ctx.env, ctx.fabric, ctx.collector
     rng = SeededRng(seed)
     tm = AllToAll(fabric.config.n_hosts)
     pair_rng = rng.stream("pairs")

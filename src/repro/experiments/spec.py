@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.metrics.drops import DropStats
 from repro.metrics.records import FlowRecord
@@ -60,6 +60,11 @@ class ExperimentSpec:
         time_guard_factor: Multiplier for the derived time guard
             (stability runs use a small factor so unstable runs end
             promptly).
+        instruments: Instrumentation hooks (e.g.
+            :class:`repro.trace.PacketTracer`) bound to the run's
+            :class:`~repro.sim.context.SimContext` by
+            ``build_simulation`` — no hand-wiring needed.  In-process
+            runs only: parallel workers cannot ship hook state back.
         seed: RNG seed; everything is deterministic given it.
         label: Free-form tag for reports.
     """
@@ -80,6 +85,7 @@ class ExperimentSpec:
     stability_samples: int = 0
     max_sim_time: Optional[float] = None
     time_guard_factor: float = 20.0
+    instruments: Tuple[Any, ...] = ()
     seed: int = 42
     label: str = ""
 
@@ -92,6 +98,8 @@ class ExperimentSpec:
             raise ValueError("traffic_matrix must be 'all_to_all' or 'permutation'")
         if self.tenant_split is not None and not 0.0 <= self.tenant_split <= 1.0:
             raise ValueError("tenant_split must be in [0, 1]")
+        if not isinstance(self.instruments, tuple):
+            self.instruments = tuple(self.instruments)
 
     def with_topology_buffer(self) -> TopologyConfig:
         """Topology with the buffer override applied."""

@@ -4,11 +4,12 @@
   implements and the per-protocol wiring description.
 * :mod:`repro.protocols.registry` — name -> protocol lookup used by the
   experiment runner ("phost", "pfabric", "fastpass").
+* :mod:`repro.protocols.phost` — pHost, the paper's primary
+  contribution.
 * :mod:`repro.protocols.pfabric` / :mod:`repro.protocols.fastpass` — the
   two baselines the paper compares against.
-
-pHost itself lives in :mod:`repro.core` (it is the paper's primary
-contribution) and registers here like the baselines.
+* :mod:`repro.protocols.ideal` — an idealized centrally-scheduled
+  upper-bound baseline used by the ablations.
 """
 
 from repro.protocols.base import ProtocolSpec, TransportAgent

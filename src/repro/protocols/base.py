@@ -7,6 +7,10 @@ source for the host's outgoing flows and destination for incoming ones
 A :class:`ProtocolSpec` tells the experiment runner how to assemble a
 protocol: which queue discipline switches and NICs use, how to build the
 shared context (Fastpass's arbiter), and how to build per-host agents.
+All three factories receive the run's :class:`~repro.sim.context.SimContext`
+(``config_factory(ctx)``, ``shared_factory(ctx)``,
+``agent_factory(host, ctx)``), so adding a run-wide capability never
+widens factory signatures again.
 """
 
 from __future__ import annotations
@@ -17,9 +21,7 @@ from typing import Any, Callable, Optional
 from repro.net.node import Host
 from repro.net.packet import Flow, Packet
 from repro.net.queues import PFabricQueue, PriorityQueue
-from repro.net.topology import Fabric
-from repro.metrics.collector import MetricsCollector
-from repro.sim.engine import EventLoop
+from repro.sim.context import SimContext
 
 __all__ = ["TransportAgent", "ProtocolSpec", "priority_queue_factory", "pfabric_queue_factory"]
 
@@ -42,23 +44,21 @@ class TransportAgent:
     this host) and optionally :meth:`nic_pull` (give the NIC the next
     data packet when it goes idle — the receiver-driven transports use
     this; push-based pFabric does not override it).
+
+    The agent stores the run's :class:`~repro.sim.context.SimContext` as
+    ``self.ctx``; ``env`` / ``fabric`` / ``collector`` / ``config`` /
+    ``shared`` are bound as plain attributes at construction so agent
+    bodies stay readable and hot paths avoid a double indirection.
     """
 
-    def __init__(
-        self,
-        host: Host,
-        env: EventLoop,
-        fabric: Fabric,
-        collector: MetricsCollector,
-        config: Any,
-        shared: Any = None,
-    ) -> None:
+    def __init__(self, host: Host, ctx: SimContext) -> None:
         self.host = host
-        self.env = env
-        self.fabric = fabric
-        self.collector = collector
-        self.config = config
-        self.shared = shared
+        self.ctx = ctx
+        self.env = ctx.env
+        self.fabric = ctx.fabric
+        self.collector = ctx.collector
+        self.config = ctx.config
+        self.shared = ctx.shared
 
     # -- source side ----------------------------------------------------
     def start_flow(self, flow: Flow) -> None:  # pragma: no cover - abstract
@@ -74,29 +74,38 @@ class TransportAgent:
     nic_pull: Optional[Callable[[], Optional[Packet]]] = None
 
 
-AgentFactory = Callable[[Host, EventLoop, Fabric, MetricsCollector, Any, Any], TransportAgent]
-SharedFactory = Callable[[EventLoop, Fabric, MetricsCollector, Any], Any]
+AgentFactory = Callable[[Host, SimContext], TransportAgent]
+SharedFactory = Callable[[SimContext], Any]
+ConfigFactory = Callable[[SimContext], Any]
 QueueFactory = Callable[[int], Any]
 
 
 @dataclass(frozen=True)
 class ProtocolSpec:
-    """Everything the runner needs to instantiate a protocol."""
+    """Everything the runner needs to instantiate a protocol.
+
+    The factories run in order against a partially-built context:
+    ``config_factory(ctx)`` sees the substrate (env/rng/fabric/collector),
+    ``shared_factory(ctx)`` additionally sees ``ctx.config``, and
+    ``agent_factory(host, ctx)`` sees the fully-populated context.
+    """
 
     name: str
     agent_factory: AgentFactory
-    config_factory: Callable[[Fabric], Any]
+    config_factory: ConfigFactory
     switch_queue_factory: QueueFactory = priority_queue_factory
     host_queue_factory: QueueFactory = priority_queue_factory
     shared_factory: Optional[SharedFactory] = None
 
-    def build_shared(
-        self,
-        env: EventLoop,
-        fabric: Fabric,
-        collector: MetricsCollector,
-        config: Any,
-    ) -> Any:
+    def build_config(self, ctx: SimContext) -> Any:
+        return self.config_factory(ctx)
+
+    def build_shared(self, ctx: SimContext) -> Any:
         if self.shared_factory is None:
             return None
-        return self.shared_factory(env, fabric, collector, config)
+        return self.shared_factory(ctx)
+
+    def install_agents(self, ctx: SimContext) -> None:
+        """Construct one agent per host and install it on its NIC."""
+        for host in ctx.fabric.hosts:
+            host.install_agent(self.agent_factory(host, ctx))

@@ -79,13 +79,11 @@ class _DstFlow:
 class FastpassAgent(TransportAgent):
     """Fastpass endpoint for one host."""
 
-    def __init__(
-        self, host, env, fabric, collector, config: FastpassConfig, shared: FastpassArbiter
-    ) -> None:
-        super().__init__(host, env, fabric, collector, config, shared)
-        if shared is None:
+    def __init__(self, host, ctx) -> None:
+        super().__init__(host, ctx)
+        if self.shared is None:
             raise ValueError("Fastpass agents need the shared arbiter")
-        self.arbiter: FastpassArbiter = shared
+        self.arbiter: FastpassArbiter = self.shared
         self.arbiter.register_agent(host.node_id, self)
         self.src_flows: Dict[int, _SrcFlow] = {}
         self.dst_flows: Dict[int, _DstFlow] = {}
@@ -217,16 +215,16 @@ class FastpassAgent(TransportAgent):
             raise ValueError(f"Fastpass host received unexpected packet type: {pkt!r}")
 
 
-def _fastpass_config_factory(fabric) -> FastpassConfig:
-    return FastpassConfig.paper_default().resolve(fabric.config)
+def _fastpass_config_factory(ctx) -> FastpassConfig:
+    return FastpassConfig.paper_default().resolve(ctx.fabric.config)
 
 
-def _fastpass_shared_factory(env, fabric, collector, config) -> FastpassArbiter:
-    return FastpassArbiter(env, fabric, collector, config)
+def _fastpass_shared_factory(ctx) -> FastpassArbiter:
+    return FastpassArbiter(ctx.env, ctx.fabric, ctx.collector, ctx.config)
 
 
-def _fastpass_agent_factory(host, env, fabric, collector, config, shared) -> FastpassAgent:
-    return FastpassAgent(host, env, fabric, collector, config, shared)
+def _fastpass_agent_factory(host, ctx) -> FastpassAgent:
+    return FastpassAgent(host, ctx)
 
 
 FASTPASS_SPEC = ProtocolSpec(

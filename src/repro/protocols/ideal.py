@@ -30,13 +30,13 @@ from repro.protocols.fastpass.config import FastpassConfig
 __all__ = ["ideal_config", "IDEAL_SPEC"]
 
 
-def ideal_config(fabric) -> FastpassConfig:
+def ideal_config(ctx) -> FastpassConfig:
     """Per-slot scheduling, instantaneous control plane."""
     return FastpassConfig(
         epoch_pkts=1,
         control_latency=0.0,
         allocation_policy="srpt",
-    ).resolve(fabric.config)
+    ).resolve(ctx.fabric.config)
 
 
 IDEAL_SPEC = ProtocolSpec(

@@ -105,8 +105,8 @@ class _DstFlow:
 class PFabricAgent(TransportAgent):
     """pFabric endpoint for one host (source + receiver roles)."""
 
-    def __init__(self, host, env, fabric, collector, config: PFabricConfig, shared=None) -> None:
-        super().__init__(host, env, fabric, collector, config, shared)
+    def __init__(self, host, ctx) -> None:
+        super().__init__(host, ctx)
         self.src_flows: Dict[int, _SrcFlow] = {}
         self.dst_flows: Dict[int, _DstFlow] = {}
         self.finished_rx: Set[int] = set()
@@ -283,12 +283,12 @@ class PFabricAgent(TransportAgent):
             raise ValueError(f"pFabric host received unexpected packet type: {pkt!r}")
 
 
-def _pfabric_config_factory(fabric) -> PFabricConfig:
+def _pfabric_config_factory(ctx) -> PFabricConfig:
     return PFabricConfig.paper_default()
 
 
-def _pfabric_agent_factory(host, env, fabric, collector, config, shared) -> PFabricAgent:
-    return PFabricAgent(host, env, fabric, collector, config, shared)
+def _pfabric_agent_factory(host, ctx) -> PFabricAgent:
+    return PFabricAgent(host, ctx)
 
 
 PFABRIC_SPEC = ProtocolSpec(

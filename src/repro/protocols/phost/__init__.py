@@ -1,0 +1,45 @@
+"""pHost — the paper's primary contribution (S5).
+
+A fully decentralized, receiver-driven datacenter transport over a
+commodity fabric:
+
+* sources announce flows with a 40-byte RTS;
+* destinations grant one *token* per MTU transmission time to the flow
+  their scheduling policy picks; a token authorizes one specific data
+  packet and expires 1.5 MTU-times after receipt;
+* sources hold a small budget of *free tokens* per flow so short flows
+  start at t=0;
+* destinations *downgrade* sources that sit on tokens (a BDP's worth of
+  unresponded tokens) and later re-issue tokens for missing packets,
+  which doubles as the loss-recovery path;
+* all control packets ride the highest priority band; data uses the
+  remaining commodity priority levels.
+
+The four degrees of freedom called out in §2.2 of the paper are
+first-class here: grant policy, spend policy, priority policy and the
+free-token budget — see :mod:`repro.protocols.phost.policies` and
+:class:`repro.protocols.phost.config.PHostConfig`.
+"""
+
+from repro.protocols.phost.config import PHostConfig
+from repro.protocols.phost.agent import PHOST_SPEC, PHostAgent
+from repro.protocols.phost.policies import (
+    EDFPolicy,
+    FIFOPolicy,
+    SRPTPolicy,
+    TenantFairPolicy,
+    make_policy,
+    register_policy,
+)
+
+__all__ = [
+    "PHostConfig",
+    "PHostAgent",
+    "PHOST_SPEC",
+    "SRPTPolicy",
+    "EDFPolicy",
+    "FIFOPolicy",
+    "TenantFairPolicy",
+    "make_policy",
+    "register_policy",
+]

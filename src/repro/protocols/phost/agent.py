@@ -8,10 +8,10 @@ the essence of pHost's end-host scheduling.
 
 from __future__ import annotations
 
-from repro.core.config import PHostConfig
-from repro.core.destination import PHostDestination
-from repro.core.policies import make_policy
-from repro.core.source import PHostSource
+from repro.protocols.phost.config import PHostConfig
+from repro.protocols.phost.destination import PHostDestination
+from repro.protocols.phost.policies import make_policy
+from repro.protocols.phost.source import PHostSource
 from repro.net.packet import Flow, Packet, PacketType
 from repro.protocols.base import ProtocolSpec, TransportAgent, priority_queue_factory
 
@@ -26,8 +26,9 @@ LONG_PRIO = 2
 class PHostAgent(TransportAgent):
     """pHost endpoint for one host."""
 
-    def __init__(self, host, env, fabric, collector, config: PHostConfig, shared=None) -> None:
-        super().__init__(host, env, fabric, collector, config, shared)
+    def __init__(self, host, ctx) -> None:
+        super().__init__(host, ctx)
+        config: PHostConfig = self.config
         self.source = PHostSource(self, config, make_policy(config.spend_policy))
         self.destination = PHostDestination(self, config, make_policy(config.grant_policy))
 
@@ -90,12 +91,12 @@ class PHostAgent(TransportAgent):
         return LONG_PRIO
 
 
-def _phost_config_factory(fabric) -> PHostConfig:
-    return PHostConfig.paper_default().resolve(fabric.config)
+def _phost_config_factory(ctx) -> PHostConfig:
+    return PHostConfig.paper_default().resolve(ctx.fabric.config)
 
 
-def _phost_agent_factory(host, env, fabric, collector, config, shared) -> PHostAgent:
-    return PHostAgent(host, env, fabric, collector, config, shared)
+def _phost_agent_factory(host, ctx) -> PHostAgent:
+    return PHostAgent(host, ctx)
 
 
 PHOST_SPEC = ProtocolSpec(

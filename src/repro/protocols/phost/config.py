@@ -46,7 +46,7 @@ class PHostConfig:
             source — under SRPT backlog a source may legitimately sit
             on them.
         grant_policy / spend_policy: Scheduling policy names (see
-            :func:`repro.core.policies.make_policy`): "srpt", "edf",
+            :func:`repro.protocols.phost.policies.make_policy`): "srpt", "edf",
             "fifo", "tenant_fair".
         priority_policy: How data packets map onto the commodity
             priority bands (degree of freedom 3, paper §2.2): "size"

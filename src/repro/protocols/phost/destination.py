@@ -20,8 +20,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Set
 
-from repro.core.config import PHostConfig
-from repro.core.policies import SchedulingPolicy, TenantCounters
+from repro.protocols.phost.config import PHostConfig
+from repro.protocols.phost.policies import SchedulingPolicy, TenantCounters
 from repro.net.packet import Flow, Packet, PacketType, control_packet
 from repro.sim.engine import EventLoop
 

@@ -142,7 +142,7 @@ def register_policy(policy_cls) -> None:
     """Register a custom :class:`SchedulingPolicy` subclass.
 
     After registration the policy is selectable by name in
-    :class:`~repro.core.config.PHostConfig` (``grant_policy`` /
+    :class:`~repro.protocols.phost.config.PHostConfig` (``grant_policy`` /
     ``spend_policy``) — this is how downstream users plug their own
     scheduling objectives into pHost without touching the fabric
     (paper §3.3).

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core.config import PHostConfig
-from repro.core.policies import SchedulingPolicy, TenantCounters
-from repro.core.tokens import SourceFlowState, Token
+from repro.protocols.phost.config import PHostConfig
+from repro.protocols.phost.policies import SchedulingPolicy, TenantCounters
+from repro.protocols.phost.tokens import SourceFlowState, Token
 from repro.net.packet import Flow, Packet, PacketType, control_packet
 
 __all__ = ["PHostSource"]

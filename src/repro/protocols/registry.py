@@ -25,7 +25,7 @@ def _ensure_builtins() -> None:
     if _REGISTRY:
         return
     # Imported lazily to avoid cycles at package import time.
-    from repro.core.agent import PHOST_SPEC
+    from repro.protocols.phost.agent import PHOST_SPEC
     from repro.protocols.fastpass.agent import FASTPASS_SPEC
     from repro.protocols.ideal import IDEAL_SPEC
     from repro.protocols.pfabric.agent import PFABRIC_SPEC

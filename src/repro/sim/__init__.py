@@ -2,11 +2,14 @@
 
 This package is the foundation everything else runs on: a binary-heap
 event loop with cancellable events (`EventLoop`), time/rate unit helpers
-(`units`), and deterministic seeded randomness (`randoms`).
+(`units`), deterministic seeded randomness (`randoms`), and the
+`SimContext` spine that bundles one run's components (event loop, RNG,
+fabric, collector, protocol config/shared state, instrumentation).
 """
 
 from repro.sim.engine import EventLoop, SimulationError
 from repro.sim.randoms import SeededRng
+from repro.sim.context import SimContext
 from repro.sim import units
 
-__all__ = ["EventLoop", "SimulationError", "SeededRng", "units"]
+__all__ = ["EventLoop", "SimulationError", "SeededRng", "SimContext", "units"]

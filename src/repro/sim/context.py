@@ -1,0 +1,104 @@
+"""The simulation context — one object owning a run's moving parts.
+
+Every experiment assembles the same pieces: an event loop, a seeded RNG,
+a fabric, a metrics collector, a resolved protocol configuration and
+(for centrally-scheduled transports) protocol-shared state.  Before this
+module existed that 6-tuple was threaded positionally through every
+factory and driver; :class:`SimContext` replaces the tuple with a single
+spine that
+
+* protocol factories receive (``config_factory(ctx)``,
+  ``shared_factory(ctx)``, ``agent_factory(host, ctx)`` — see
+  :class:`repro.protocols.base.ProtocolSpec`);
+* every :class:`~repro.protocols.base.TransportAgent` stores as
+  ``self.ctx``;
+* instrumentation hooks (e.g. :class:`repro.trace.PacketTracer`) bind
+  to, instead of being hand-wired to a (collector, fabric) pair.
+
+Future capabilities (observability hooks, fault injection, batched or
+parallel execution) extend this one object instead of widening five
+call chains.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim <- net/metrics)
+    from repro.metrics.collector import MetricsCollector
+    from repro.net.topology import Fabric
+    from repro.sim.engine import EventLoop
+    from repro.sim.randoms import SeededRng
+
+__all__ = ["SimContext"]
+
+
+class SimContext:
+    """Owns one simulation run's shared components.
+
+    Built in two phases by :func:`repro.experiments.runner.build_simulation`:
+    the substrate fields (``env``, ``rng``, ``fabric``, ``collector``)
+    are set at construction; ``config`` and ``shared`` are filled in by
+    the protocol's factories, which receive the partially-built context
+    (they only read the substrate fields).
+    """
+
+    __slots__ = ("env", "rng", "fabric", "collector", "config", "shared", "hooks")
+
+    def __init__(
+        self,
+        env: "EventLoop",
+        rng: "SeededRng",
+        fabric: "Fabric",
+        collector: "MetricsCollector",
+        config: Any = None,
+        shared: Any = None,
+        hooks: Optional[List[Any]] = None,
+    ) -> None:
+        self.env = env
+        self.rng = rng
+        self.fabric = fabric
+        self.collector = collector
+        #: Resolved protocol configuration (e.g. a ``PHostConfig`` with
+        #: absolute times computed for this topology).
+        self.config = config
+        #: Protocol-shared state (e.g. the Fastpass arbiter); None for
+        #: fully-decentralized transports.
+        self.shared = shared
+        #: Instrumentation hooks bound to this run (see :meth:`add_hook`).
+        self.hooks: List[Any] = list(hooks) if hooks else []
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def add_hook(self, hook: Any) -> Any:
+        """Bind an instrumentation hook to this run and track it.
+
+        A hook exposing ``bind(ctx)`` is bound that way (the preferred
+        interface); otherwise a legacy ``attach(collector, fabric)``
+        signature is used.  Returns the hook for chaining.
+        """
+        bind = getattr(hook, "bind", None)
+        if bind is not None:
+            bind(self)
+        else:
+            hook.attach(self.collector, self.fabric)
+        self.hooks.append(hook)
+        return hook
+
+    def hooks_of_type(self, cls: type) -> List[Any]:
+        """The bound hooks that are instances of ``cls``."""
+        return [h for h in self.hooks if isinstance(h, cls)]
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (convenience passthrough)."""
+        return self.env.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        proto = type(self.config).__name__ if self.config is not None else "?"
+        return (
+            f"SimContext(now={self.env.now:.9f}, hosts={len(self.fabric.hosts)}, "
+            f"config={proto}, hooks={len(self.hooks)})"
+        )

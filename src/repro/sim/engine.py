@@ -1,11 +1,15 @@
 """Event loop for the packet-level simulator.
 
 The loop is deliberately minimal and fast: events are stored in a binary
-heap as small lists ``[time, seq, callback, args]``.  Cancellation is
-O(1) — the callback slot is nulled out and the entry is skipped when it
-reaches the top of the heap.  The monotone ``seq`` counter makes event
-ordering deterministic for equal timestamps (FIFO among ties), which in
-turn makes whole simulations reproducible for a fixed seed.
+heap as small lists ``[time, seq, callback, args, loop]``.  Cancellation
+is O(1) — the callback slot is nulled out and the entry is skipped when
+it reaches the top of the heap.  The live-event count is maintained
+incrementally, so :meth:`EventLoop.pending_count` is O(1), and the heap
+is compacted in place once cancelled entries outnumber live ones (long
+pHost runs cancel a timer per token, which would otherwise leave the
+heap dominated by dead entries).  The monotone ``seq`` counter makes
+event ordering deterministic for equal timestamps (FIFO among ties),
+which in turn makes whole simulations reproducible for a fixed seed.
 
 Times are floats in **seconds**.  At datacenter scale (nanoseconds to
 milliseconds) float64 has far more resolution than we need.
@@ -18,8 +22,17 @@ from typing import Any, Callable, List, Optional
 
 __all__ = ["EventLoop", "SimulationError"]
 
-# Index of the callback inside an event entry; used for cancellation.
+# Indices inside an event entry.  The callback slot is nulled for
+# cancellation; the loop backref lets the static cancel() keep the
+# owning loop's live/cancelled counters exact.  The backref is never
+# compared: heap ordering is fully decided by (time, seq) since seq is
+# unique per loop.
 _FN = 2
+_LOOP = 4
+
+#: Compaction only kicks in past this many dead entries — below it the
+#: rebuild costs more than lazily popping the corpses.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -46,7 +59,15 @@ class EventLoop:
             cancelled entries are not counted).
     """
 
-    __slots__ = ("now", "events_processed", "_heap", "_seq", "_stopped")
+    __slots__ = (
+        "now",
+        "events_processed",
+        "_heap",
+        "_seq",
+        "_stopped",
+        "_live",
+        "_cancelled",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -54,6 +75,8 @@ class EventLoop:
         self._heap: List[list] = []
         self._seq: int = 0
         self._stopped: bool = False
+        self._live: int = 0  # scheduled, not yet fired or cancelled
+        self._cancelled: int = 0  # cancelled entries still in the heap
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -68,8 +91,9 @@ class EventLoop:
                 f"cannot schedule event in the past: {when} < now={self.now}"
             )
         self._seq += 1
-        entry = [when, self._seq, fn, args]
+        entry = [when, self._seq, fn, args, self]
         heapq.heappush(self._heap, entry)
+        self._live += 1
         return entry
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> list:
@@ -85,8 +109,26 @@ class EventLoop:
         Safe to call with ``None`` or with an entry that already fired
         (firing nulls the callback slot as well).
         """
-        if entry is not None:
-            entry[_FN] = None
+        if entry is None or entry[_FN] is None:
+            return
+        entry[_FN] = None
+        loop: "EventLoop" = entry[_LOOP]
+        loop._live -= 1
+        loop._cancelled += 1
+        if loop._cancelled > _COMPACT_MIN and loop._cancelled * 2 > len(loop._heap):
+            loop._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: :meth:`run` holds a local alias to the heap
+        list while callbacks (which may cancel and trigger compaction)
+        are executing.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if e[_FN] is not None]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     @staticmethod
     def is_pending(entry: Optional[list]) -> bool:
@@ -101,6 +143,7 @@ class EventLoop:
         heap = self._heap
         while heap and heap[0][_FN] is None:
             heapq.heappop(heap)
+            self._cancelled -= 1
         return heap[0][0] if heap else None
 
     def run(
@@ -132,6 +175,7 @@ class EventLoop:
             fn = entry[_FN]
             if fn is None:  # cancelled — drop silently
                 pop(heap)
+                self._cancelled -= 1
                 continue
             when = entry[0]
             if until is not None and when > until:
@@ -140,6 +184,7 @@ class EventLoop:
             pop(heap)
             self.now = when
             entry[_FN] = None  # mark as fired (makes cancel-after-fire a no-op)
+            self._live -= 1
             fn(*entry[3])
             executed += 1
         else:
@@ -153,11 +198,11 @@ class EventLoop:
         self._stopped = True
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued. O(n)."""
-        return sum(1 for e in self._heap if e[_FN] is not None)
+        """Number of live (non-cancelled) events still queued. O(1)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"EventLoop(now={self.now:.9f}, pending={len(self._heap)}, "
+            f"EventLoop(now={self.now:.9f}, pending={self._live}, "
             f"processed={self.events_processed})"
         )

@@ -58,6 +58,13 @@ class PacketTracer:
         fabric.drop_hook = self._on_drop
         return self
 
+    def bind(self, ctx) -> "PacketTracer":
+        """Instrumentation-hook entry point: attach to a run's
+        :class:`~repro.sim.context.SimContext` (the preferred wiring —
+        pass the tracer in ``ExperimentSpec.instruments`` and
+        ``build_simulation`` calls this)."""
+        return self.attach(ctx.collector, ctx.fabric)
+
     # ------------------------------------------------------------------
     # Observer interface (called by the collector)
     # ------------------------------------------------------------------

@@ -1,0 +1,70 @@
+"""The `repro.core` deprecation shim.
+
+pHost moved to `repro.protocols.phost`; the old package must keep
+resolving — same objects, one DeprecationWarning per import — until the
+shim is removed.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import_core():
+    """Import repro.core as if for the first time, capturing warnings."""
+    stale = [m for m in sys.modules if m == "repro.core" or m.startswith("repro.core.")]
+    for name in stale:
+        del sys.modules[name]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        import repro.core  # noqa: F401
+    return sys.modules["repro.core"], caught
+
+
+def test_import_warns_exactly_once_and_points_at_new_home():
+    _core, caught = _fresh_import_core()
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert "repro.protocols.phost" in str(deprecations[0].message)
+
+
+def test_old_top_level_names_resolve_to_canonical_objects():
+    core, _ = _fresh_import_core()
+    import repro.protocols.phost as phost
+
+    assert core.PHostAgent is phost.PHostAgent
+    assert core.PHostConfig is phost.PHostConfig
+    assert core.PHOST_SPEC is phost.PHOST_SPEC
+    assert core.make_policy is phost.make_policy
+
+
+def test_from_import_still_works():
+    _fresh_import_core()
+    from repro.core import PHostAgent, PHostConfig  # noqa: F401
+
+    assert PHostConfig.paper_default().free_tokens == 8
+
+
+@pytest.mark.parametrize(
+    "submodule", ["agent", "config", "destination", "policies", "source", "tokens"]
+)
+def test_old_submodules_alias_the_canonical_modules(submodule):
+    _fresh_import_core()
+    import importlib
+
+    old = importlib.import_module(f"repro.core.{submodule}")
+    new = importlib.import_module(f"repro.protocols.phost.{submodule}")
+    assert old is new
+
+
+def test_shim_shares_registries_with_canonical_package():
+    """Policy registration through the old path is visible on the new
+    one — the shim aliases modules instead of duplicating them."""
+    _fresh_import_core()
+    from repro.core.policies import _POLICIES as old_registry
+    from repro.protocols.phost.policies import _POLICIES as new_registry
+
+    assert old_registry is new_registry

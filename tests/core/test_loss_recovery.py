@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import PHostConfig
+from repro.protocols.phost.config import PHostConfig
 from repro.experiments.runner import build_simulation
 from repro.experiments.spec import ExperimentSpec
 from repro.net.packet import Flow, PacketType
@@ -30,7 +30,8 @@ def phost_sim(config=None, seed=1):
         protocol_config=config,
         seed=seed,
     )
-    return build_simulation(spec)
+    ctx = build_simulation(spec)
+    return ctx.env, ctx.fabric, ctx.collector, ctx.config
 
 
 def swallow(agent, predicate, budget=1):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.policies import (
+from repro.protocols.phost.policies import (
     EDFPolicy,
     FIFOPolicy,
     SRPTPolicy,

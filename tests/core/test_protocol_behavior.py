@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.agent import PHostAgent
-from repro.core.config import PHostConfig
+from repro.protocols.phost.agent import PHostAgent
+from repro.protocols.phost.config import PHostConfig
 from repro.experiments.runner import build_simulation
 from repro.experiments.spec import ExperimentSpec
 from repro.net.packet import Flow, PacketType
@@ -27,7 +27,8 @@ def phost_sim(config=None, seed=1):
         protocol_config=config,
         seed=seed,
     )
-    env, fabric, collector, cfg = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector, cfg = ctx.env, ctx.fabric, ctx.collector, ctx.config
     return env, fabric, collector, cfg
 
 

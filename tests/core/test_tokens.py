@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.tokens import SourceFlowState, Token
+from repro.protocols.phost.tokens import SourceFlowState, Token
 from repro.net.packet import Flow
 
 

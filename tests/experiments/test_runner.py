@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import PHostConfig
+from repro.protocols.phost.config import PHostConfig
 from repro.experiments.runner import (
     run_experiment,
     run_incast,

@@ -75,7 +75,8 @@ def test_utilization_by_hop_reflects_traffic():
 
     spec = ExperimentSpec(protocol="phost", workload="fixed:1", n_flows=1,
                           topology=TopologyConfig.small(), seed=1)
-    env, fabric, collector, _ = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector, _ = ctx.env, ctx.fabric, ctx.collector, ctx.config
     dst = fabric.config.hosts_per_rack  # inter-rack: exercises all hops
     flow = Flow(1, 0, dst, 200 * 1460, 0.0)
     collector.expected_flows = 1

@@ -17,7 +17,8 @@ def wired_sim(window=50e-6):
         protocol="phost", workload="fixed:1", n_flows=1,
         topology=TopologyConfig.small(), seed=1,
     )
-    env, fabric, collector, _ = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector, _ = ctx.env, ctx.fabric, ctx.collector, ctx.config
     series = ThroughputSeries(env, window)
     collector.observer = series
     return env, fabric, collector, series

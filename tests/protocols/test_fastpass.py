@@ -23,7 +23,8 @@ def fastpass_sim(seed=1, config=None):
         protocol_config=config,
         seed=seed,
     )
-    return build_simulation(spec)
+    ctx = build_simulation(spec)
+    return ctx.env, ctx.fabric, ctx.collector, ctx.config
 
 
 def start(env, fabric, collector, flow):

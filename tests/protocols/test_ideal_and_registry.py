@@ -52,7 +52,8 @@ def test_ideal_lone_flow_near_opt():
 
     spec = ExperimentSpec(protocol="ideal", workload="fixed:1460", n_flows=1,
                           topology=TopologyConfig.small(), seed=1)
-    env, fabric, collector, cfg = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector, cfg = ctx.env, ctx.fabric, ctx.collector, ctx.config
     flow = Flow(1, 0, 5, 30 * 1460, 0.0)
     collector.expected_flows = 1
     env.schedule_at(0.0, fabric.hosts[0].agent.start_flow, flow)

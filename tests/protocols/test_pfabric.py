@@ -22,7 +22,8 @@ def pfabric_sim(config=None, seed=1, buffer_bytes=None):
         protocol_config=config,
         seed=seed,
     )
-    return build_simulation(spec)
+    ctx = build_simulation(spec)
+    return ctx.env, ctx.fabric, ctx.collector, ctx.config
 
 
 def start(env, fabric, collector, flow):

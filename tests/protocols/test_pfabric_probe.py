@@ -21,7 +21,8 @@ def sim(config=None):
         protocol_config=config or PFabricConfig(probe_after_timeouts=3),
         seed=1,
     )
-    return build_simulation(spec)
+    ctx = build_simulation(spec)
+    return ctx.env, ctx.fabric, ctx.collector, ctx.config
 
 
 def start(env, fabric, collector, flow):

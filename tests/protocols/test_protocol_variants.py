@@ -87,7 +87,8 @@ def test_property_random_scenarios_complete(scenario, protocol):
         protocol=protocol, workload="fixed:1", n_flows=1,
         topology=TopologyConfig.small(), seed=1,
     )
-    env, fabric, collector, _ = build_simulation(spec)
+    ctx = build_simulation(spec)
+    env, fabric, collector, _ = ctx.env, ctx.fabric, ctx.collector, ctx.config
     flows = [Flow(fid, src, dst, size, arrival)
              for fid, src, dst, size, arrival in scenario]
     collector.expected_flows = len(flows)

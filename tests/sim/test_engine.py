@@ -158,3 +158,48 @@ def test_property_cancellation_removes_exactly_chosen(times, data):
         EventLoop.cancel(entries[i])
     env.run()
     assert set(seen) == set(range(len(times))) - to_cancel
+
+
+def test_pending_count_is_incremental_and_exact():
+    env = EventLoop()
+    entries = [env.schedule_at(i * 1e-6, lambda: None) for i in range(10)]
+    assert env.pending_count() == 10
+    for e in entries[:4]:
+        EventLoop.cancel(e)
+    assert env.pending_count() == 6
+    EventLoop.cancel(entries[0])  # double-cancel must not double-count
+    assert env.pending_count() == 6
+    env.run(max_events=3)
+    assert env.pending_count() == 3
+    env.run()
+    assert env.pending_count() == 0
+
+
+def test_heap_compacts_when_mostly_cancelled():
+    env = EventLoop()
+    entries = [env.schedule_at(1.0 + i * 1e-6, lambda: None) for i in range(300)]
+    assert len(env._heap) == 300
+    # Cancel enough that cancelled entries outnumber live ones: the heap
+    # must shrink well below the scheduled total without running.
+    for e in entries[:200]:
+        EventLoop.cancel(e)
+    assert env.pending_count() == 100
+    assert len(env._heap) < 300  # dead entries were reclaimed eagerly
+    env.run()
+    assert env.events_processed == 100
+
+
+def test_compaction_during_run_callbacks_is_safe():
+    env = EventLoop()
+    survivors = []
+    victims = [env.schedule_at(2e-6 + i * 1e-9, lambda: None) for i in range(200)]
+
+    def cancel_most():
+        for e in victims:
+            EventLoop.cancel(e)  # triggers in-place compaction mid-run
+
+    env.schedule_at(1e-6, cancel_most)
+    env.schedule_at(3e-6, survivors.append, "late")
+    env.run()
+    assert survivors == ["late"]
+    assert env.pending_count() == 0

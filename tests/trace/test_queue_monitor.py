@@ -21,7 +21,8 @@ def sim(protocol="phost"):
         topology=TopologyConfig.small(),
         seed=1,
     )
-    return build_simulation(spec)
+    ctx = build_simulation(spec)
+    return ctx.env, ctx.fabric, ctx.collector, ctx.config
 
 
 def test_monitor_validates_inputs():

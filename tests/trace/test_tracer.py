@@ -12,16 +12,20 @@ from repro.trace import PacketTracer, TraceKind
 
 
 def traced_sim(**tracer_kwargs):
+    # Tracers ride ExperimentSpec.instruments; build_simulation binds
+    # them to the run's SimContext (no hand-wiring).
+    tracer = PacketTracer(**tracer_kwargs)
     spec = ExperimentSpec(
         protocol="phost",
         workload="fixed:1460",
         n_flows=1,
         topology=TopologyConfig.small(),
+        instruments=(tracer,),
         seed=1,
     )
-    env, fabric, collector, cfg = build_simulation(spec)
-    tracer = PacketTracer(**tracer_kwargs).attach(collector, fabric)
-    return env, fabric, collector, tracer
+    ctx = build_simulation(spec)
+    assert ctx.hooks == [tracer]
+    return ctx.env, ctx.fabric, ctx.collector, tracer
 
 
 def run_flow(env, fabric, collector, flow):
