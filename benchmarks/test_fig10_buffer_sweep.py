@@ -4,6 +4,8 @@ Paper: none of the three protocols is sensitive to buffer size, even
 with tiny 6 kB buffers.
 """
 
+import pytest
+
 
 def test_fig10(regen):
     result = regen("fig10")
@@ -14,3 +16,7 @@ def test_fig10(regen):
         # and flat across the commodity range (>= 18 kB)
         main = [row[protocol] for row in result.rows if row["buffer_bytes"] >= 18_000]
         assert max(main) <= 1.6 * min(main), protocol
+@pytest.mark.smoke
+def test_fig10_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig10")

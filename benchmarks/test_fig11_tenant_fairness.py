@@ -6,6 +6,8 @@ in-fabric SRPT favours the short-flow tenant, while pHost with its
 tenant-fair token policy splits throughput roughly evenly.
 """
 
+import pytest
+
 
 def test_fig11(regen):
     result = regen("fig11")
@@ -17,3 +19,7 @@ def test_fig11(regen):
     # biased than pHost
     assert pfabric["imc10_share"] > 0.53
     assert pfabric["imc10_share"] > phost["imc10_share"]
+@pytest.mark.smoke
+def test_fig11_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig11")

@@ -6,6 +6,8 @@ is short-flow dominated, Data Mining/IMC10 are far heavier in tiny
 flows than Web Search, and IMC10's tail stops at 3 MB.
 """
 
+import pytest
+
 
 def test_fig2(regen):
     result = regen("fig2")
@@ -16,3 +18,7 @@ def test_fig2(regen):
     row_3mb = result.row_where(size_bytes=10_000_000)
     assert row_3mb["imc10"] == 1.0          # tail capped at 3 MB
     assert row_3mb["datamining"] < 1.0      # tail continues to 1 GB
+@pytest.mark.smoke
+def test_fig2_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig2")

@@ -7,6 +7,8 @@ rough factors), not absolute values — our substrate is a scaled-down
 simulator (see DESIGN.md §2).
 """
 
+import pytest
+
 
 def test_fig3(regen):
     result = regen("fig3")
@@ -18,3 +20,9 @@ def test_fig3(regen):
     for workload in ("datamining", "imc10"):
         row = result.row_where(workload=workload)
         assert row["fastpass"] > 2.0 * row["phost"]
+@pytest.mark.smoke
+def test_fig3_smoke(smoke_regen, audit_artifact):
+    """Tiny-scale sanity pass for the CI smoke tier; also archives the
+    invariant-audit report as a CI artifact and fails on violations."""
+    smoke_regen("fig3")
+    audit_artifact("fig3")

@@ -5,6 +5,8 @@ pHost matches pFabric while Fastpass is 1.3-4x worse.  (Long flows are
 >10 MB for Web Search/Data Mining and >100 kB for IMC10.)
 """
 
+import pytest
+
 import math
 
 
@@ -18,3 +20,7 @@ def test_fig4(regen):
                 if long_[p] == long_[p]]  # drop NaN (no long flows sampled)
         if len(vals) >= 2:
             assert max(vals) <= 3.0 * min(vals)  # "similar performance"
+@pytest.mark.smoke
+def test_fig4_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig4")

@@ -5,6 +5,8 @@ within ~15% of each other; at reproduction scale we allow a wider band
 but the protocols must remain in one cluster, unlike mean slowdown.
 """
 
+import pytest
+
 
 def test_fig5a(regen):
     result = regen("fig5a")
@@ -12,3 +14,7 @@ def test_fig5a(regen):
         vals = [row[p] for p in ("phost", "pfabric", "fastpass")]
         assert all(v >= 1.0 for v in vals)
         assert max(vals) <= 2.5 * min(vals)
+@pytest.mark.smoke
+def test_fig5a_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig5a")

@@ -5,6 +5,8 @@ similar, and (because slowdown > 1) goodput stays below
 load x access rate = 6 Gbps.
 """
 
+import pytest
+
 
 def test_fig5b(regen):
     result = regen("fig5b")
@@ -12,3 +14,7 @@ def test_fig5b(regen):
         vals = [row[p] for p in ("phost", "pfabric", "fastpass")]
         assert all(0 < v < 6.5 for v in vals)
         assert max(vals) <= 3.0 * min(vals)
+@pytest.mark.smoke
+def test_fig5b_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig5b")

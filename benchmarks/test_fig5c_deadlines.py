@@ -6,6 +6,8 @@ protocols land within ~2% of each other; we assert every protocol meets
 a solid majority and no protocol craters.
 """
 
+import pytest
+
 
 def test_fig5c(regen):
     result = regen("fig5c")
@@ -13,3 +15,7 @@ def test_fig5c(regen):
         for protocol in ("phost", "pfabric", "fastpass"):
             assert row[protocol] >= 0.5, (row["workload"], protocol)
         assert row["phost"] >= row["fastpass"] - 0.25
+@pytest.mark.smoke
+def test_fig5c_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig5c")

@@ -5,6 +5,8 @@ roughly doubles.  We assert the ordering on the short-flow-heavy
 workloads.
 """
 
+import pytest
+
 
 def test_fig5d(regen):
     result = regen("fig5d")
@@ -12,3 +14,7 @@ def test_fig5d(regen):
         row = result.row_where(workload=workload)
         assert row["fastpass"] > row["phost"]
         assert row["phost"] >= 1.0
+@pytest.mark.smoke
+def test_fig5d_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig5d")

@@ -4,6 +4,8 @@ Paper: pFabric's drop rate is substantial and grows with load; pHost
 and Fastpass, which explicitly schedule packets, stay near zero.
 """
 
+import pytest
+
 
 def test_fig5e(regen):
     result = regen("fig5e")
@@ -15,3 +17,7 @@ def test_fig5e(regen):
     for row in result.rows:
         assert row["phost"] < 0.05
         assert row["fastpass"] < 0.01
+@pytest.mark.smoke
+def test_fig5e_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig5e")

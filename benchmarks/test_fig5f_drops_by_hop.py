@@ -6,6 +6,8 @@ drops *inside* the fabric are negligible for everyone — packet spraying
 plus full bisection bandwidth keeps the core clean.
 """
 
+import pytest
+
 
 def test_fig5f(regen):
     result = regen("fig5f")
@@ -18,3 +20,7 @@ def test_fig5f(regen):
     for row in result.rows:
         fabric_drops = row["hop2"] + row["hop3"]
         assert fabric_drops <= max(5, row["injected"] // 10_000)
+@pytest.mark.smoke
+def test_fig5f_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig5f")

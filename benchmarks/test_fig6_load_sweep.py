@@ -4,6 +4,8 @@ Paper: the protocol ordering is consistent across loads and absolute
 slowdown grows with load (0.8 is beyond the stable regime).
 """
 
+import pytest
+
 
 def test_fig6(regen):
     result = regen("fig6")
@@ -16,3 +18,7 @@ def test_fig6(regen):
         for load in (0.5, 0.6, 0.7, 0.8):
             row = result.row_where(workload=workload, load=load)
             assert row["fastpass"] > row["phost"]
+@pytest.mark.smoke
+def test_fig6_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig6")

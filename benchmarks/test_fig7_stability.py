@@ -6,6 +6,8 @@ reproduction scale the onset shifts upward, so the driver adds a
 clearly-overloaded point; we assert the flat-vs-rising contrast.
 """
 
+import pytest
+
 from repro.metrics.stability import StabilitySample, samples_stable
 
 
@@ -28,3 +30,7 @@ def test_fig7(regen):
         return phase[-1]["frac_pending"] if phase else 0.0
 
     assert final_pending(1.1) > 3 * max(final_pending(0.6), 0.01)
+@pytest.mark.smoke
+def test_fig7_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig7")

@@ -5,6 +5,8 @@ Paper: pHost tracks pFabric across the sweep; Fastpass matches them
 when long flows dominate but degrades sharply as short flows take over.
 """
 
+import pytest
+
 
 def test_fig8(regen):
     result = regen("fig8")
@@ -18,3 +20,7 @@ def test_fig8(regen):
     # pHost stays in pFabric's regime everywhere
     for row in result.rows:
         assert row["phost"] <= 2.0 * row["pfabric"] + 0.5
+@pytest.mark.smoke
+def test_fig8_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig8")

@@ -4,6 +4,8 @@ Paper: with one destination per source there is almost no contention in
 the core or at receivers, and pHost outperforms both baselines.
 """
 
+import pytest
+
 
 def test_fig9a(regen):
     result = regen("fig9a")
@@ -15,3 +17,7 @@ def test_fig9a(regen):
     for workload in ("datamining", "imc10"):
         row = result.row_where(workload=workload)
         assert row["fastpass"] > row["phost"]
+@pytest.mark.smoke
+def test_fig9a_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig9a")

@@ -5,6 +5,8 @@ minimal, so pHost stays near-optimal throughout while Fastpass's
 epoch+RTT overhead still penalizes short-flow mixes.
 """
 
+import pytest
+
 
 def test_fig9b(regen):
     result = regen("fig9b")
@@ -12,3 +14,7 @@ def test_fig9b(regen):
     assert mostly_short["fastpass"] > 1.3 * mostly_short["phost"]
     for row in result.rows:
         assert row["phost"] >= 1.0
+@pytest.mark.smoke
+def test_fig9b_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig9b")

@@ -5,6 +5,8 @@ Paper: the three protocols land within ~7% of each other; we assert
 they form one cluster at every N.
 """
 
+import pytest
+
 
 def test_fig9c(regen):
     result = regen("fig9c")
@@ -12,3 +14,9 @@ def test_fig9c(regen):
         vals = [row[p] for p in ("phost", "pfabric", "fastpass")]
         assert all(v > 0 for v in vals)
         assert max(vals) <= 1.6 * min(vals)
+@pytest.mark.smoke
+def test_fig9c_smoke(smoke_regen, audit_artifact):
+    """Tiny-scale sanity pass for the CI smoke tier; also archives the
+    invariant-audit report as a CI artifact and fails on violations."""
+    smoke_regen("fig9c")
+    audit_artifact("fig9c")

@@ -4,6 +4,8 @@ Paper: <4% spread across protocols and RCT nearly flat in N — the
 receiver access link carries the same bytes regardless of fan-in.
 """
 
+import pytest
+
 
 def test_fig9d(regen):
     result = regen("fig9d")
@@ -15,3 +17,7 @@ def test_fig9d(regen):
     for p in cols:
         series = [row[p] for row in result.rows]
         assert max(series) <= 1.5 * min(series)
+@pytest.mark.smoke
+def test_fig9d_smoke(smoke_regen):
+    """Tiny-scale sanity pass for the CI smoke tier."""
+    smoke_regen("fig9d")

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden run digests.
+
+Run after any *intentional* behaviour change (scheduling, drop policy,
+token pacing, RNG consumption) and commit the updated JSON together
+with the change::
+
+    PYTHONPATH=src python scripts/refresh_goldens.py
+
+The digests are defined in :mod:`tests.validate.test_golden_trace`; this
+script runs the same tiny-scale scenarios, verifies they pass every
+auditor, and rewrites ``tests/validate/golden_digests.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from tests.validate.test_golden_trace import GOLDEN_PATH, compute_goldens  # noqa: E402
+
+
+def main() -> int:
+    digests, reports = compute_goldens()
+    for name, report in reports.items():
+        if not report.ok:
+            print(f"refusing to refresh: {name} fails its audit", file=sys.stderr)
+            print(report.summary(), file=sys.stderr)
+            return 1
+    GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    for name, digest in sorted(digests.items()):
+        print(f"{name}: {digest}")
+    print(f"wrote {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

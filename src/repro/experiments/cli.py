@@ -107,7 +107,47 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "attach the run-time invariant auditors (repro.validate) to "
+            "--run/--replay and report per-invariant pass/fail; exits 1 "
+            "on any violation"
+        ),
+    )
+    parser.add_argument(
+        "--audit-json",
+        metavar="FILE.json",
+        default=None,
+        help="write the audit report as JSON to this path (implies --audit)",
+    )
     return parser
+
+
+def _wants_audit(args: argparse.Namespace) -> bool:
+    return args.audit or args.audit_json is not None
+
+
+def _audit_instruments(args: argparse.Namespace) -> tuple:
+    if not _wants_audit(args):
+        return ()
+    from repro.validate import standard_auditors
+
+    return standard_auditors()
+
+
+def _handle_audit(report, args: argparse.Namespace) -> int:
+    """Emit/export the audit report; exit status 1 on violations."""
+    if report is None:
+        return 0
+    if args.audit_json is not None:
+        from repro.metrics.export import audit_report_to_json
+
+        audit_report_to_json(report, args.audit_json)
+    if not args.json:
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -115,7 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 
 def _result_dict(result: ExperimentResult) -> dict:
-    return {
+    payload = {
         "protocol": result.spec.protocol,
         "workload": result.spec.workload,
         "load": result.spec.load,
@@ -133,6 +173,9 @@ def _result_dict(result: ExperimentResult) -> dict:
         "duration_s": result.duration,
         "wall_seconds": result.wall_seconds,
     }
+    if result.audit is not None:
+        payload["audit"] = result.audit.to_dict()
+    return payload
 
 
 def _emit_result(result: ExperimentResult, as_json: bool) -> None:
@@ -167,8 +210,10 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.flows is not None:
         overrides["n_flows"] = args.flows
     spec = make_spec(protocol, workload, args.scale, **overrides)
-    _emit_result(run_experiment(spec), args.json)
-    return 0
+    spec = spec.variant(instruments=_audit_instruments(args))
+    result = run_experiment(spec)
+    _emit_result(result, args.json)
+    return _handle_audit(result.audit, args)
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
@@ -218,12 +263,13 @@ def _run_replay(args: argparse.Namespace) -> int:
         workload="fixed:1",  # ignored by run_flow_list
         n_flows=1,
         topology=preset.topology,
+        instruments=_audit_instruments(args),
         seed=args.seed,
     )
     flows = load_flows(args.replay, n_hosts=preset.topology.n_hosts)
     result = run_flow_list(spec, flows)
     _emit_result(result, args.json)
-    return 0
+    return _handle_audit(result.audit, args)
 
 
 def _run_batch(args: argparse.Namespace) -> int:

@@ -22,6 +22,7 @@ from repro.protocols.registry import get_protocol
 from repro.sim.context import SimContext
 from repro.sim.engine import EventLoop
 from repro.sim.randoms import SeededRng
+from repro.validate.base import AuditReport
 from repro.workloads.deadlines import assign_deadlines
 from repro.workloads.distributions import WORKLOADS, bimodal, fixed_size
 from repro.workloads.generator import FlowGenerator
@@ -112,6 +113,15 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
     return ctx
 
 
+def _finalize_hooks(ctx: SimContext) -> None:
+    """Give every instrumentation hook its end-of-run pass (auditors
+    reconcile their ledgers here)."""
+    for hook in ctx.hooks:
+        fin = getattr(hook, "finalize", None)
+        if fin is not None:
+            fin(ctx)
+
+
 def _generate_flows(spec: ExperimentSpec, fabric: Fabric, rng: SeededRng) -> List[Flow]:
     dist = _resolve_workload(spec)
     tm = _resolve_tm(spec, fabric.config.n_hosts, rng)
@@ -200,6 +210,7 @@ def run_flow_list(
     if tracker is not None:
         tracker.stop()
         tracker.sample()  # terminal point
+    _finalize_hooks(ctx)
 
     records = records_from_flows(flows, fabric)
     duration = collector.duration()
@@ -219,6 +230,7 @@ def run_flow_list(
         stability=list(tracker.samples) if tracker is not None else [],
         events_processed=env.events_processed,
         wall_seconds=time.perf_counter() - wall_start,
+        audit=AuditReport.from_hooks(ctx.hooks),
     )
     return result
 
@@ -236,6 +248,8 @@ class IncastResult:
     n_requests: int
     rcts: List[float] = field(default_factory=list)
     fcts: List[float] = field(default_factory=list)
+    #: AuditReport when auditors were passed via ``instruments``.
+    audit: Optional[AuditReport] = None
 
     @property
     def mean_rct(self) -> float:
@@ -254,6 +268,7 @@ def run_incast(
     topology: Optional[TopologyConfig] = None,
     seed: int = 42,
     protocol_config: Any = None,
+    instruments: tuple = (),
 ) -> IncastResult:
     """Closed-loop incast: each request fans N senders into one receiver;
     the next request starts when the previous completes."""
@@ -263,6 +278,7 @@ def run_incast(
         n_flows=1,
         topology=topology or TopologyConfig.paper(),
         protocol_config=protocol_config,
+        instruments=instruments,
         seed=seed,
     )
     ctx = build_simulation(spec)
@@ -300,6 +316,8 @@ def run_incast(
     collector.on_complete = on_complete
     env.schedule_at(0.0, launch_request)
     env.run(until=3600.0)  # safety wall; closed loop ends via env.stop()
+    _finalize_hooks(ctx)
+    result.audit = AuditReport.from_hooks(ctx.hooks)
     return result
 
 

@@ -131,6 +131,9 @@ class ExperimentResult:
     stability: List[StabilitySample] = field(default_factory=list)
     events_processed: int = 0
     wall_seconds: float = 0.0
+    #: AuditReport when auditors were attached via spec.instruments
+    #: (see repro.validate); None otherwise.
+    audit: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Metric shortcuts (all over completed flows)

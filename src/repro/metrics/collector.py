@@ -30,6 +30,7 @@ class MetricsCollector:
         self.data_pkts_injected = 0        # unique first transmissions at sources
         self.data_pkts_retransmitted = 0
         self.data_pkts_delivered = 0       # packets accepted at destinations (deduped)
+        self.data_pkts_duplicate = 0       # arrivals discarded as already-received
         self.payload_bytes_delivered = 0
         self.delivered_bytes_by_tenant: Dict[int, int] = {}
         self.control_pkts_sent = 0
@@ -46,7 +47,15 @@ class MetricsCollector:
         # Optional observer receiving every event (see repro.trace);
         # must expose flow_arrived/flow_completed/data_sent/
         # data_delivered/control_sent.  None-guarded on the hot path.
+        # The single slot is the exclusive legacy attachment point (the
+        # tracer claims it and rejects double-attach); auditors use the
+        # additive ``add_observer`` list so they can stack freely.
         self.observer = None
+        self._observers: List = []
+
+    def add_observer(self, observer) -> None:
+        """Register an additional event observer (auditors stack here)."""
+        self._observers.append(observer)
 
     # ------------------------------------------------------------------
     # Flow lifecycle
@@ -58,6 +67,8 @@ class MetricsCollector:
             self.first_arrival = now
         if self.observer is not None:
             self.observer.flow_arrived(flow, now)
+        for obs in self._observers:
+            obs.flow_arrived(flow, now)
 
     def flow_completed(self, flow: Flow, now: float) -> None:
         if flow.finish is not None:
@@ -69,6 +80,8 @@ class MetricsCollector:
             self.last_completion = now
         if self.observer is not None:
             self.observer.flow_completed(flow, now)
+        for obs in self._observers:
+            obs.flow_completed(flow, now)
         if self.on_complete is not None:
             self.on_complete(flow, now)
 
@@ -82,6 +95,8 @@ class MetricsCollector:
             self.data_pkts_retransmitted += 1
         if self.observer is not None:
             self.observer.data_sent(pkt, first_time)
+        for obs in self._observers:
+            obs.data_sent(pkt, first_time)
 
     def data_delivered(self, pkt: Packet) -> None:
         self.data_pkts_delivered += 1
@@ -93,12 +108,26 @@ class MetricsCollector:
             )
         if self.observer is not None:
             self.observer.data_delivered(pkt)
+        for obs in self._observers:
+            obs.data_delivered(pkt)
+
+    def data_duplicate(self, pkt: Packet) -> None:
+        """A destination discarded an already-received data packet."""
+        self.data_pkts_duplicate += 1
+        if self.observer is not None:
+            handler = getattr(self.observer, "data_duplicate", None)
+            if handler is not None:
+                handler(pkt)
+        for obs in self._observers:
+            obs.data_duplicate(pkt)
 
     def control_sent(self, pkt: Packet) -> None:
         self.control_pkts_sent += 1
         self.control_bytes_sent += pkt.size
         if self.observer is not None:
             self.observer.control_sent(pkt)
+        for obs in self._observers:
+            obs.control_sent(pkt)
 
     # ------------------------------------------------------------------
     # Derived views

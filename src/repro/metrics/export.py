@@ -16,7 +16,7 @@ from typing import Iterable, List, Union
 
 from repro.metrics.records import FlowRecord
 
-__all__ = ["save_records", "load_records", "result_to_json"]
+__all__ = ["save_records", "load_records", "result_to_json", "audit_report_to_json"]
 
 _COLUMNS = [
     "fid", "src", "dst", "size_bytes", "n_pkts", "tenant",
@@ -110,4 +110,12 @@ def result_to_json(result, path: Union[str, Path]) -> Path:
         },
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def audit_report_to_json(report, path: Union[str, Path]) -> Path:
+    """Dump an :class:`~repro.validate.AuditReport` (per-invariant
+    pass/fail plus first-violation context) as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return path

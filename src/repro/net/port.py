@@ -46,6 +46,9 @@ class Port:
         "pull_source",
         "bytes_sent",
         "pkts_sent",
+        "pkts_enqueued",
+        "pkts_pulled",
+        "pkts_dropped",
     )
 
     def __init__(
@@ -70,6 +73,11 @@ class Port:
         self.pull_source: Optional[PullSource] = None
         self.bytes_sent = 0
         self.pkts_sent = 0
+        # Conservation ledger: enqueued + pulled ==
+        # sent + dropped + queued + (1 if busy).
+        self.pkts_enqueued = 0
+        self.pkts_pulled = 0
+        self.pkts_dropped = 0
 
     def connect(self, peer) -> None:
         """Attach the receiving end of this port's link."""
@@ -80,19 +88,17 @@ class Port:
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> None:
         """Enqueue a packet for transmission (may drop at the queue)."""
-        if self.busy:
-            dropped = self.queue.push(pkt)
-            if dropped and self.on_drop is not None:
+        self.pkts_enqueued += 1
+        dropped = self.queue.push(pkt)
+        if dropped:
+            self.pkts_dropped += len(dropped)
+            if self.on_drop is not None:
                 for victim in dropped:
                     self.on_drop(victim, self.hop_index)
-            return
-        # Idle port: if the queue is somehow non-empty (race with pull),
-        # keep FIFO semantics by going through it.
-        dropped = self.queue.push(pkt)
-        if dropped and self.on_drop is not None:
-            for victim in dropped:
-                self.on_drop(victim, self.hop_index)
-        self._start_next()
+        if not self.busy:
+            # Idle port: if the queue is somehow non-empty (race with
+            # pull), keep FIFO semantics by going through it.
+            self._start_next()
 
     # ------------------------------------------------------------------
     # Pull path
@@ -112,6 +118,8 @@ class Port:
         pkt = self.queue.pop()
         if pkt is None and self.pull_source is not None:
             pkt = self.pull_source()
+            if pkt is not None:
+                self.pkts_pulled += 1
         if pkt is None:
             return
         self.busy = True

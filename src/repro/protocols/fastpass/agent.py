@@ -185,6 +185,7 @@ class FastpassAgent(TransportAgent):
         flow = pkt.flow
         fid = flow.fid
         if fid in self.finished_rx:
+            self.collector.data_duplicate(pkt)
             self._send_ack(flow, pkt.seq)
             return
         state = self.dst_flows.get(fid)
@@ -198,6 +199,8 @@ class FastpassAgent(TransportAgent):
                 self.collector.flow_completed(flow, self.env.now)
                 self.finished_rx.add(fid)
                 del self.dst_flows[fid]
+        else:
+            self.collector.data_duplicate(pkt)
         self._send_ack(flow, pkt.seq)
 
     def _send_ack(self, flow: Flow, seq: int) -> None:

@@ -252,6 +252,7 @@ class PFabricAgent(TransportAgent):
             self._send_ack(flow, PROBE_SEQ)  # probe-ACK, no data implied
             return
         if fid in self.finished_rx:
+            self.collector.data_duplicate(pkt)
             self._send_ack(flow, pkt.seq)  # keep ACKing so the source closes
             return
         state = self.dst_flows.get(fid)
@@ -265,6 +266,8 @@ class PFabricAgent(TransportAgent):
                 self.collector.flow_completed(flow, self.env.now)
                 self.finished_rx.add(fid)
                 del self.dst_flows[fid]
+        else:
+            self.collector.data_duplicate(pkt)
         self._send_ack(flow, pkt.seq)
 
     def _send_ack(self, flow: Flow, seq: int) -> None:

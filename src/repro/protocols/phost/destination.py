@@ -178,6 +178,7 @@ class PHostDestination:
     def on_data(self, pkt: Packet) -> None:
         flow = pkt.flow
         if flow.fid in self.finished:
+            self.agent.collector.data_duplicate(pkt)
             return
         state = self.states.get(flow.fid)
         if state is None:
@@ -185,6 +186,7 @@ class PHostDestination:
         seq = pkt.seq
         if seq in state.received:
             self.duplicate_data += 1
+            self.agent.collector.data_duplicate(pkt)
             return
         state.received.add(seq)
         state.regrant_set.discard(seq)

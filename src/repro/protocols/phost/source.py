@@ -39,6 +39,13 @@ class PHostSource:
         self.flows: Dict[int, SourceFlowState] = {}
         self.tenant_sent = TenantCounters()
         self.tokens_expired = 0  # observability: tokens that lapsed unused
+        self.tokens_stale = 0    # tokens arriving after the flow finished
+        # Ledger totals rolled over from flows retired by an ACK, so the
+        # token balance stays auditable after per-flow state is dropped.
+        self.tokens_received_retired = 0
+        self.tokens_spent_retired = 0
+        self.tokens_expired_retired = 0
+        self.tokens_unspent_retired = 0
 
     # ------------------------------------------------------------------
     # Flow arrival (Algorithm 1, "new flow arrives")
@@ -75,6 +82,7 @@ class PHostSource:
     def on_token(self, pkt: Packet) -> None:
         state = self.flows.get(pkt.flow.fid)
         if state is None or state.done:
+            self.tokens_stale += 1
             return  # stale token for a finished flow
         expiry = self.env.now + self.config.token_expiry
         state.add_token(Token(pkt.seq, pkt.data_prio, expiry))
@@ -87,6 +95,10 @@ class PHostSource:
         state = self.flows.pop(pkt.flow.fid, None)
         if state is not None:
             state.done = True
+            self.tokens_received_retired += state.tokens_received
+            self.tokens_spent_retired += state.tokens_spent
+            self.tokens_expired_retired += state.tokens_expired_n
+            self.tokens_unspent_retired += len(state.tokens)
 
     # ------------------------------------------------------------------
     # NIC pull (Algorithm 1, "idle": pick a token, send its packet)

@@ -46,6 +46,9 @@ class SourceFlowState:
         "got_token",
         "rts_sends",
         "ack_check_scheduled",
+        "tokens_received",
+        "tokens_spent",
+        "tokens_expired_n",
     )
 
     def __init__(self, flow: Flow, free_tokens: int) -> None:
@@ -58,11 +61,17 @@ class SourceFlowState:
         self.got_token = False
         self.rts_sends = 0
         self.ack_check_scheduled = False
+        # Token-ledger counters (audited: received == spent + expired +
+        # still-held, see repro.validate.tokens).
+        self.tokens_received = 0
+        self.tokens_spent = 0
+        self.tokens_expired_n = 0
 
     # ------------------------------------------------------------------
     def add_token(self, token: Token) -> None:
         self.tokens.append(token)
         self.got_token = True
+        self.tokens_received += 1
 
     def prune_expired(self, now: float) -> int:
         """Drop lapsed tokens; returns how many were discarded."""
@@ -72,6 +81,7 @@ class SourceFlowState:
         dropped = len(self.tokens) - len(live)
         if dropped:
             self.tokens = live
+            self.tokens_expired_n += dropped
         return dropped
 
     def has_granted_token(self, now: float) -> bool:
@@ -80,6 +90,7 @@ class SourceFlowState:
 
     def pop_token(self) -> Token:
         """Spend the oldest live token (FIFO among a flow's tokens)."""
+        self.tokens_spent += 1
         return self.tokens.pop(0)
 
     def has_free_token(self) -> bool:

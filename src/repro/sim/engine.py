@@ -67,6 +67,7 @@ class EventLoop:
         "_stopped",
         "_live",
         "_cancelled",
+        "_clock_watcher",
     )
 
     def __init__(self) -> None:
@@ -77,6 +78,7 @@ class EventLoop:
         self._stopped: bool = False
         self._live: int = 0  # scheduled, not yet fired or cancelled
         self._cancelled: int = 0  # cancelled entries still in the heap
+        self._clock_watcher: Optional[Callable[[float, float], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -182,6 +184,10 @@ class EventLoop:
                 self.now = until
                 break
             pop(heap)
+            if when < self.now and self._clock_watcher is not None:
+                # Only reachable by smuggling an entry into the heap
+                # behind schedule_at()'s past-time guard.
+                self._clock_watcher(self.now, when)
             self.now = when
             entry[_FN] = None  # mark as fired (makes cancel-after-fire a no-op)
             self._live -= 1
@@ -200,6 +206,20 @@ class EventLoop:
     def pending_count(self) -> int:
         """Number of live (non-cancelled) events still queued. O(1)."""
         return self._live
+
+    def set_clock_watcher(
+        self, fn: Optional[Callable[[float, float], None]]
+    ) -> None:
+        """Install ``fn(now, when)``, called if an event stamped before
+        the current clock is about to execute (the clock still advances
+        to the event's time afterwards, preserving legacy behaviour).
+
+        ``schedule_at`` already rejects past times, so this only fires
+        for entries injected into the heap directly — it exists for the
+        :class:`repro.validate.CausalityAuditor`, and costs one
+        almost-always-false comparison per event.
+        """
+        self._clock_watcher = fn
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

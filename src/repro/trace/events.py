@@ -16,6 +16,7 @@ class TraceKind(Enum):
     FLOW_COMPLETED = "flow_completed"
     DATA_SENT = "data_sent"
     DATA_DELIVERED = "data_delivered"
+    DATA_DUPLICATE = "data_duplicate"
     CONTROL_SENT = "control_sent"
     PACKET_DROPPED = "packet_dropped"
 

@@ -83,6 +83,9 @@ class PacketTracer:
     def data_delivered(self, pkt: Packet) -> None:
         self._record_pkt(TraceKind.DATA_DELIVERED, pkt)
 
+    def data_duplicate(self, pkt: Packet) -> None:
+        self._record_pkt(TraceKind.DATA_DUPLICATE, pkt)
+
     def control_sent(self, pkt: Packet) -> None:
         self._record_pkt(TraceKind.CONTROL_SENT, pkt, detail=pkt.ptype.name)
 

@@ -1,0 +1,39 @@
+"""Run-time invariant auditing and golden-trace fingerprints.
+
+Auditors attach to a run through the standard instrumentation path::
+
+    from repro.experiments import ExperimentSpec, run_experiment
+    from repro.validate import standard_auditors
+
+    spec = ExperimentSpec(protocol="phost", instruments=standard_auditors())
+    result = run_experiment(spec)
+    assert result.audit.ok, result.audit.summary()
+
+or via ``--audit`` on ``python -m repro.experiments.cli``.  See
+``docs/TESTING.md`` for the invariant catalogue and the golden-digest
+refresh workflow.
+"""
+
+from repro.validate.base import AuditReport, Auditor, InvariantCheck, Violation
+from repro.validate.causality import CausalityAuditor
+from repro.validate.conservation import ConservationAuditor
+from repro.validate.digest import incast_digest, run_digest
+from repro.validate.tokens import TokenLedgerAuditor
+
+__all__ = [
+    "AuditReport",
+    "Auditor",
+    "CausalityAuditor",
+    "ConservationAuditor",
+    "InvariantCheck",
+    "TokenLedgerAuditor",
+    "Violation",
+    "incast_digest",
+    "run_digest",
+    "standard_auditors",
+]
+
+
+def standard_auditors():
+    """Fresh instances of every built-in auditor (one run's worth)."""
+    return (ConservationAuditor(), TokenLedgerAuditor(), CausalityAuditor())

@@ -1,0 +1,239 @@
+"""Packet and byte conservation auditing.
+
+Every data packet a source injects must end up in exactly one of four
+places: delivered (counted once at its destination), dropped at a named
+hop, discarded as a duplicate arrival, or still in flight when the run
+ends.  The :class:`ConservationAuditor` maintains per-flow send/deliver
+ledgers live — so a double-counted delivery or a phantom retransmission
+is flagged at the offending event — and reconciles three ledgers at
+finalize: the end-to-end packet ledger, the payload-byte ledger, and a
+per-port ledger built from the counters every
+:class:`repro.net.port.Port` keeps (packets entering a port must equal
+packets transmitted + dropped + still queued + in serialization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.net.packet import PacketType
+from repro.sim.units import HEADER_BYTES
+from repro.validate.base import Auditor
+
+__all__ = ["ConservationAuditor"]
+
+
+class ConservationAuditor(Auditor):
+    """Per-flow and per-port conservation ledgers, reconciled live."""
+
+    name = "conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._declare(
+            "unique-injection",
+            "each (flow, seq) is injected first_time exactly once, in range",
+        )
+        self._declare(
+            "delivery-once",
+            "each (flow, seq) is counted delivered at most once",
+        )
+        self._declare(
+            "delivery-accounted",
+            "every delivery is of a packet that was sent, with the right payload",
+        )
+        self._declare(
+            "completion",
+            "a flow completes once, only after every packet was delivered",
+        )
+        self._declare(
+            "drop-accounted",
+            "every dropped data packet was previously sent",
+        )
+        self._declare(
+            "end-ledger",
+            "sent == delivered + duplicates + drops + in-flight (residual >= 0)",
+        )
+        self._declare(
+            "port-ledger",
+            "per port: packets in == transmitted + dropped + queued + in-tx",
+        )
+        self._flows: Dict[int, object] = {}
+        self._sent: Dict[int, Set[int]] = {}
+        self._delivered: Dict[int, Set[int]] = {}
+        self._completed: Set[int] = set()
+        self._send_events = 0
+        self._deliver_events = 0
+        self._dup_events = 0
+        self._data_drops = 0
+        self._payload_bytes = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, ctx) -> "ConservationAuditor":
+        super().bind(ctx)
+        self._tap_drops()
+        return self
+
+    # ------------------------------------------------------------------
+    # Live event checks
+    # ------------------------------------------------------------------
+    def flow_arrived(self, flow, now: float) -> None:
+        if flow.fid in self._flows and flow.fid not in self._completed:
+            self._violate(
+                "unique-injection",
+                f"flow {flow.fid} arrived twice",
+                fid=flow.fid,
+            )
+        self._flows[flow.fid] = flow
+
+    def data_sent(self, pkt, first_time: bool) -> None:
+        self._send_events += 1
+        self._checked("unique-injection")
+        fid = pkt.flow.fid
+        seqs = self._sent.setdefault(fid, set())
+        if not 0 <= pkt.seq < pkt.flow.n_pkts:
+            self._violate(
+                "unique-injection",
+                f"flow {fid} sent out-of-range seq {pkt.seq}",
+                fid=fid, seq=pkt.seq, n_pkts=pkt.flow.n_pkts,
+            )
+            return
+        if first_time and pkt.seq in seqs:
+            self._violate(
+                "unique-injection",
+                f"flow {fid} seq {pkt.seq} injected as first-time twice",
+                fid=fid, seq=pkt.seq,
+            )
+        elif not first_time and pkt.seq not in seqs:
+            self._violate(
+                "unique-injection",
+                f"flow {fid} seq {pkt.seq} retransmitted before any injection",
+                fid=fid, seq=pkt.seq,
+            )
+        seqs.add(pkt.seq)
+
+    def data_delivered(self, pkt) -> None:
+        self._deliver_events += 1
+        self._checked("delivery-once")
+        self._checked("delivery-accounted")
+        fid = pkt.flow.fid
+        delivered = self._delivered.setdefault(fid, set())
+        if pkt.seq in delivered:
+            self._violate(
+                "delivery-once",
+                f"flow {fid} seq {pkt.seq} counted delivered twice",
+                fid=fid, seq=pkt.seq,
+            )
+            return
+        if pkt.seq not in self._sent.get(fid, ()):
+            self._violate(
+                "delivery-accounted",
+                f"flow {fid} seq {pkt.seq} delivered but never sent",
+                fid=fid, seq=pkt.seq,
+            )
+        expected = pkt.flow.payload_of(pkt.seq) if 0 <= pkt.seq < pkt.flow.n_pkts else -1
+        payload = max(pkt.size - HEADER_BYTES, 0)
+        if payload != expected:
+            self._violate(
+                "delivery-accounted",
+                f"flow {fid} seq {pkt.seq} delivered {payload}B, expected {expected}B",
+                fid=fid, seq=pkt.seq, payload=payload, expected=expected,
+            )
+        delivered.add(pkt.seq)
+        self._payload_bytes += payload
+
+    def data_duplicate(self, pkt) -> None:
+        self._dup_events += 1
+        self._checked("delivery-once")
+        delivered = self._delivered.get(pkt.flow.fid, ())
+        if pkt.seq not in delivered:
+            self._violate(
+                "delivery-once",
+                f"flow {pkt.flow.fid} seq {pkt.seq} discarded as duplicate "
+                "but was never delivered",
+                fid=pkt.flow.fid, seq=pkt.seq,
+            )
+
+    def flow_completed(self, flow, now: float) -> None:
+        self._checked("completion")
+        if flow.fid in self._completed:
+            self._violate(
+                "completion",
+                f"flow {flow.fid} completed twice",
+                fid=flow.fid,
+            )
+            return
+        self._completed.add(flow.fid)
+        delivered = self._delivered.get(flow.fid, set())
+        if len(delivered) != flow.n_pkts:
+            self._violate(
+                "completion",
+                f"flow {flow.fid} completed with {len(delivered)}/{flow.n_pkts} "
+                "packets delivered",
+                fid=flow.fid, delivered=len(delivered), n_pkts=flow.n_pkts,
+            )
+
+    def on_drop(self, pkt, hop_index: int) -> None:
+        if pkt.ptype != PacketType.DATA:
+            return
+        if pkt.seq < 0:  # pFabric probes: header-only, never ledgered as sent
+            return
+        self._data_drops += 1
+        self._checked("drop-accounted")
+        fid = pkt.flow.fid if pkt.flow is not None else None
+        if fid is None or pkt.seq not in self._sent.get(fid, ()):
+            self._violate(
+                "drop-accounted",
+                f"dropped data packet (flow {fid}, seq {pkt.seq}) was never sent",
+                fid=fid, seq=pkt.seq, hop=hop_index,
+            )
+
+    # ------------------------------------------------------------------
+    # End-of-run ledger reconciliation
+    # ------------------------------------------------------------------
+    def finalize(self, ctx) -> None:
+        self._checked("end-ledger")
+        residual = (
+            self._send_events - self._deliver_events - self._dup_events - self._data_drops
+        )
+        if residual < 0:
+            self._violate(
+                "end-ledger",
+                f"packet ledger negative: sent={self._send_events} < delivered="
+                f"{self._deliver_events} + duplicates={self._dup_events} "
+                f"+ drops={self._data_drops}",
+                sent=self._send_events,
+                delivered=self._deliver_events,
+                duplicates=self._dup_events,
+                drops=self._data_drops,
+            )
+        collector = ctx.collector
+        expected_bytes = sum(
+            self._flows[fid].size_bytes for fid in self._completed if fid in self._flows
+        )
+        if collector.payload_bytes_delivered != expected_bytes:
+            self._violate(
+                "end-ledger",
+                f"byte ledger mismatch: collector says "
+                f"{collector.payload_bytes_delivered}B delivered, completed flows "
+                f"sum to {expected_bytes}B",
+                collector_bytes=collector.payload_bytes_delivered,
+                completed_bytes=expected_bytes,
+            )
+        for port in ctx.fabric.all_ports():
+            self._checked("port-ledger")
+            entered = port.pkts_enqueued + port.pkts_pulled
+            exited = (
+                port.pkts_sent
+                + port.pkts_dropped
+                + len(port.queue)
+                + (1 if port.busy else 0)
+            )
+            if entered != exited:
+                self._violate(
+                    "port-ledger",
+                    f"port {port.name}: {entered} packets in but {exited} accounted "
+                    f"(sent={port.pkts_sent}, dropped={port.pkts_dropped}, "
+                    f"queued={len(port.queue)}, in_tx={int(port.busy)})",
+                    port=port.name, entered=entered, exited=exited,
+                )

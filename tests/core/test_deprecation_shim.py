@@ -60,6 +60,39 @@ def test_old_submodules_alias_the_canonical_modules(submodule):
     assert old is new
 
 
+@pytest.mark.parametrize(
+    "submodule", ["agent", "config", "destination", "policies", "source", "tokens"]
+)
+def test_every_public_name_is_identity_shared(submodule):
+    """Not just the module objects: every public attribute reachable via
+    the old path must be the *same object* as the canonical one, so
+    isinstance checks, registries and monkeypatches cannot fork between
+    the two import spellings."""
+    _fresh_import_core()
+    import importlib
+
+    old = importlib.import_module(f"repro.core.{submodule}")
+    new = importlib.import_module(f"repro.protocols.phost.{submodule}")
+    names = getattr(new, "__all__", None) or [
+        n for n in dir(new) if not n.startswith("_")
+    ]
+    assert names, f"no public names found in {submodule}"
+    for name in names:
+        assert getattr(old, name) is getattr(new, name), (
+            f"repro.core.{submodule}.{name} is not the canonical object"
+        )
+
+
+def test_protocol_registry_serves_the_shim_visible_spec():
+    """get_protocol('phost') — what build_simulation actually uses —
+    must hand back the very spec the shim re-exports, so protocol
+    behaviour cannot fork depending on import path."""
+    core, _ = _fresh_import_core()
+    from repro.protocols.registry import get_protocol
+
+    assert get_protocol("phost") is core.PHOST_SPEC
+
+
 def test_shim_shares_registries_with_canonical_package():
     """Policy registration through the old path is visible on the new
     one — the shim aliases modules instead of duplicating them."""

@@ -7,12 +7,17 @@ the RNG substream derivation is stable (no process-salted hashing).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import pytest
 
 from repro.experiments.runner import run_experiment
 from repro.experiments.spec import ExperimentSpec
 from repro.net.topology import TopologyConfig
 from repro.sim.randoms import SeededRng
+from repro.validate import run_digest
+
+PROTOCOLS = ["phost", "pfabric", "fastpass", "ideal"]
 
 
 def spec(protocol="phost", seed=5):
@@ -31,11 +36,43 @@ def fingerprint(result):
     )
 
 
-@pytest.mark.parametrize("protocol", ["phost", "pfabric", "fastpass", "ideal"])
+@pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_identical_specs_identical_results(protocol):
     a = run_experiment(spec(protocol))
     b = run_experiment(spec(protocol))
     assert fingerprint(a) == fingerprint(b)
+
+
+@lru_cache(maxsize=None)
+def digest_of(protocol: str, seed: int) -> str:
+    """One cached reference run per (protocol, seed)."""
+    return run_digest(run_experiment(spec(protocol, seed)))
+
+
+@pytest.mark.parametrize("seed", [5, 11])
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_same_seed_byte_identical_digest(protocol, seed):
+    """Same spec run twice -> byte-identical run digest.
+
+    Stronger than the fingerprint test above: the digest covers every
+    completion record field, the per-hop drop ledger and the packet
+    counters, so any nondeterminism anywhere in the pipeline flips it.
+    """
+    fresh = run_digest(run_experiment(spec(protocol, seed)))
+    assert fresh == digest_of(protocol, seed)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_different_seeds_different_digests(protocol):
+    assert digest_of(protocol, 5) != digest_of(protocol, 11)
+
+
+def test_protocols_produce_distinct_digests():
+    """Sanity that the digest actually discriminates behaviour: the four
+    protocols (even ideal, a reconfigured Fastpass) must not collide on
+    the same workload and seed."""
+    digests = [digest_of(p, 5) for p in PROTOCOLS]
+    assert len(set(digests)) == len(PROTOCOLS)
 
 
 def test_stream_seed_derivation_is_stable_constants():

@@ -160,6 +160,75 @@ def test_property_cancellation_removes_exactly_chosen(times, data):
     assert set(seen) == set(range(len(times))) - to_cancel
 
 
+@given(st.data())
+def test_property_model_based_schedule_cancel_step(data):
+    """Random interleavings of schedule/cancel/step versus a naive
+    list-based reference model.
+
+    The model is a plain insertion-ordered list of live (time, id)
+    pairs; a stable sort on time reproduces the loop's FIFO-among-ties
+    contract.  After every operation ``pending_count()`` must agree
+    with the model, and every executed batch must pop exactly the
+    model's k earliest events, in order — covering the interactions of
+    O(1) cancellation, eager compaction and the live-count bookkeeping
+    that single-purpose tests miss.
+    """
+    env = EventLoop()
+    fired = []
+    model = []  # live events as (time, uid), insertion-ordered
+    handles = {}
+    uid = 0
+    for _ in range(data.draw(st.integers(min_value=1, max_value=60))):
+        op = data.draw(st.sampled_from(["schedule", "cancel", "step"]))
+        if op == "schedule":
+            t = env.now + data.draw(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+            )
+            handles[uid] = env.schedule_at(t, lambda uid=uid: fired.append(uid))
+            model.append((t, uid))
+            uid += 1
+        elif op == "cancel":
+            if model:
+                idx = data.draw(st.integers(min_value=0, max_value=len(model) - 1))
+                _, victim = model.pop(idx)
+                EventLoop.cancel(handles[victim])
+                EventLoop.cancel(handles[victim])  # double-cancel is a no-op
+        else:  # step
+            k = data.draw(st.integers(min_value=0, max_value=5))
+            expected = sorted(model, key=lambda e: e[0])[:k]
+            before = len(fired)
+            executed = env.run(max_events=k)
+            assert executed == len(expected)
+            assert fired[before:] == [u for _, u in expected]
+            for entry in expected:
+                model.remove(entry)
+        assert env.pending_count() == len(model)
+    expected = [u for _, u in sorted(model, key=lambda e: e[0])]
+    before = len(fired)
+    env.run()
+    assert fired[before:] == expected
+    assert env.pending_count() == 0
+
+
+def test_clock_watcher_fires_only_for_smuggled_past_events():
+    import heapq
+
+    env = EventLoop()
+    regressions = []
+    env.set_clock_watcher(lambda now, when: regressions.append((now, when)))
+    env.schedule_at(1e-6, lambda: None)
+    env.schedule_at(2e-6, lambda: None)
+    env.run()
+    assert regressions == []  # legal schedules never trigger it
+
+    entry = [env.now / 2, env._seq + 10**6, lambda: None, (), env]
+    heapq.heappush(env._heap, entry)
+    env._live += 1
+    env.run()
+    assert regressions == [(2e-6, 1e-6)]
+    assert env.now == pytest.approx(1e-6)  # legacy behaviour: clock still moves
+
+
 def test_pending_count_is_incremental_and_exact():
     env = EventLoop()
     entries = [env.schedule_at(i * 1e-6, lambda: None) for i in range(10)]

@@ -1,0 +1,110 @@
+"""Golden-trace regression harness.
+
+Two tiny-scale scenarios — the Figure 3 websearch sweep point and the
+Figure 9c incast — are fingerprinted with the order-independent run
+digest and compared against committed goldens.  Any behavioural change
+(scheduling order, drop policy, token pacing, RNG consumption) moves
+the digest even when summary statistics barely shift.
+
+To refresh after an intentional change::
+
+    PYTHONPATH=src python scripts/refresh_goldens.py
+
+Both scenarios also run under the full auditor set and must pass with
+zero violations — the goldens certify *validated* behaviour, not just
+reproducible behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.defaults import SCALES, make_spec
+from repro.experiments.runner import run_experiment, run_incast
+from repro.validate import incast_digest, run_digest, standard_auditors
+
+GOLDEN_PATH = Path(__file__).parent / "golden_digests.json"
+
+
+def _fig3_tiny(instruments=()):
+    spec = make_spec("phost", "websearch", "tiny", seed=42)
+    return run_experiment(spec.variant(instruments=instruments))
+
+
+def _fig9c_tiny(instruments=()):
+    return run_incast(
+        "phost",
+        n_senders=9,
+        total_bytes=1_000_000,
+        n_requests=3,
+        topology=SCALES["tiny"].topology,
+        seed=42,
+        instruments=instruments,
+    )
+
+
+def compute_goldens():
+    """(digests, audit reports) for every golden scenario.
+
+    Shared with ``scripts/refresh_goldens.py`` so the committed file and
+    the test can never disagree about what is being fingerprinted.
+    """
+    fig3 = _fig3_tiny(standard_auditors())
+    fig9c = _fig9c_tiny(standard_auditors())
+    digests = {
+        "fig3-tiny-phost-websearch-seed42": run_digest(fig3),
+        "fig9c-tiny-phost-incast9-seed42": incast_digest(fig9c),
+    }
+    reports = {
+        "fig3-tiny-phost-websearch-seed42": fig3.audit,
+        "fig9c-tiny-phost-incast9-seed42": fig9c.audit,
+    }
+    return digests, reports
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    assert GOLDEN_PATH.exists(), (
+        "no committed goldens; run scripts/refresh_goldens.py"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return compute_goldens()
+
+
+def test_fig3_audit_clean(computed):
+    report = computed[1]["fig3-tiny-phost-websearch-seed42"]
+    assert report.ok, report.summary()
+    assert report.total_violations == 0
+
+
+def test_fig9c_audit_clean(computed):
+    report = computed[1]["fig9c-tiny-phost-incast9-seed42"]
+    assert report.ok, report.summary()
+
+
+def test_digests_match_committed_goldens(computed, goldens):
+    assert computed[0] == goldens, (
+        "run digests diverged from committed goldens; if the behaviour "
+        "change is intentional, run scripts/refresh_goldens.py"
+    )
+
+
+def test_fig3_digest_stable_across_invocations(computed):
+    again = run_digest(_fig3_tiny())
+    assert again == computed[0]["fig3-tiny-phost-websearch-seed42"], (
+        "same spec, two invocations, different digests — and the first "
+        "run carried auditors, so attaching them must not perturb the "
+        "simulation either"
+    )
+
+
+def test_fig9c_digest_stable_across_invocations(computed):
+    again = incast_digest(_fig9c_tiny())
+    assert again == computed[0]["fig9c-tiny-phost-incast9-seed42"]
