@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Schema-validate a Chrome trace_event file produced by --chrome-trace.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_chrome_trace.py out/trace.json [...]
+
+Exit status 0 if every file is a loadable trace (valid JSON, a
+``traceEvents`` array or bare-array form, and ``ph``/``ts``/``pid`` on
+every event), 1 otherwise.  This is the same check CI runs on the smoke
+job's artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import validate_chrome_trace
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            events = validate_chrome_trace(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            status = 1
+            continue
+        kinds = {}
+        for event in events:
+            kinds[event["ph"]] = kinds.get(event["ph"], 0) + 1
+        breakdown = ", ".join(f"{n} {ph!r}" for ph, n in sorted(kinds.items()))
+        print(f"{path}: ok — {len(events)} events ({breakdown})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

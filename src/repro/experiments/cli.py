@@ -75,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a JSON batch of experiments (see repro.experiments.specfile)",
     )
     mode.add_argument(
-        "--profile",
+        "--size-profile",
         nargs=2,
         metavar=("PROTOCOL", "WORKLOAD"),
         help="per-size slowdown profile (log-binned) for one run",
@@ -122,6 +122,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the audit report as JSON to this path (implies --audit)",
     )
+    obs = parser.add_argument_group("observability (repro.obs; for --run/--replay)")
+    obs.add_argument(
+        "--obs",
+        action="store_true",
+        help="attach the telemetry spine: instrument registry + periodic sampler",
+    )
+    obs.add_argument(
+        "--obs-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sampling period in simulated seconds (default 100e-6; implies --obs)",
+    )
+    obs.add_argument(
+        "--obs-out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write series.jsonl / profile.txt / summary.txt to this "
+            "directory (implies --obs)"
+        ),
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile event-loop dispatch (per-event-type counts and "
+            "wall-clock self-time; implies --obs)"
+        ),
+    )
+    obs.add_argument(
+        "--chrome-trace",
+        metavar="FILE.json",
+        default=None,
+        help=(
+            "export a Chrome trace_event file (open in Perfetto or "
+            "chrome://tracing; implies --obs)"
+        ),
+    )
     return parser
 
 
@@ -135,6 +174,41 @@ def _audit_instruments(args: argparse.Namespace) -> tuple:
     from repro.validate import standard_auditors
 
     return standard_auditors()
+
+
+def _wants_obs(args: argparse.Namespace) -> bool:
+    return (
+        args.obs
+        or args.obs_period is not None
+        or args.obs_out is not None
+        or args.profile
+        or args.chrome_trace is not None
+    )
+
+
+def _obs_config(args: argparse.Namespace):
+    """Build an ObservabilityConfig from the CLI flags (None if unused)."""
+    if not _wants_obs(args):
+        return None
+    from repro.obs import ObservabilityConfig
+
+    kwargs = dict(
+        out_dir=args.obs_out,
+        profile=args.profile,
+        chrome_trace=args.chrome_trace,
+    )
+    if args.obs_period is not None:
+        kwargs["sample_period"] = args.obs_period
+    return ObservabilityConfig(**kwargs)
+
+
+def _handle_telemetry(result: ExperimentResult, args: argparse.Namespace) -> None:
+    report = result.telemetry
+    if report is None or args.json:
+        return
+    print(report.summary())
+    if report.profile_text is not None:
+        print(report.profile_text)
 
 
 def _handle_audit(report, args: argparse.Namespace) -> int:
@@ -175,6 +249,18 @@ def _result_dict(result: ExperimentResult) -> dict:
     }
     if result.audit is not None:
         payload["audit"] = result.audit.to_dict()
+    if result.telemetry is not None:
+        report = result.telemetry
+        obs: dict = {
+            "n_instruments": report.n_instruments,
+            "samples": report.samples_taken,
+            "written": list(report.written),
+        }
+        if report.profile is not None:
+            obs["profile"] = report.profile
+        if report.chrome_trace_path is not None:
+            obs["chrome_trace"] = report.chrome_trace_path
+        payload["obs"] = obs
     return payload
 
 
@@ -210,9 +296,12 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.flows is not None:
         overrides["n_flows"] = args.flows
     spec = make_spec(protocol, workload, args.scale, **overrides)
-    spec = spec.variant(instruments=_audit_instruments(args))
+    spec = spec.variant(
+        instruments=_audit_instruments(args), observability=_obs_config(args)
+    )
     result = run_experiment(spec)
     _emit_result(result, args.json)
+    _handle_telemetry(result, args)
     return _handle_audit(result.audit, args)
 
 
@@ -264,11 +353,13 @@ def _run_replay(args: argparse.Namespace) -> int:
         n_flows=1,
         topology=preset.topology,
         instruments=_audit_instruments(args),
+        observability=_obs_config(args),
         seed=args.seed,
     )
     flows = load_flows(args.replay, n_hosts=preset.topology.n_hosts)
     result = run_flow_list(spec, flows)
     _emit_result(result, args.json)
+    _handle_telemetry(result, args)
     return _handle_audit(result.audit, args)
 
 
@@ -309,10 +400,10 @@ def _run_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_profile(args: argparse.Namespace) -> int:
+def _run_size_profile(args: argparse.Namespace) -> int:
     from repro.metrics.cdf import slowdown_by_size, sparkline
 
-    protocol, workload = args.profile
+    protocol, workload = args.size_profile
     overrides = dict(load=args.load, seed=args.seed)
     if args.flows is not None:
         overrides["n_flows"] = args.flows
@@ -320,7 +411,7 @@ def _run_profile(args: argparse.Namespace) -> int:
     result = run_experiment(spec)
     rows = slowdown_by_size(result.records)
     table = FigureResult(
-        figure="profile",
+        figure="size-profile",
         title=f"{protocol}/{workload} @ load {spec.load:g}: slowdown by flow size",
         columns=["size_upto_bytes", "mean_slowdown", "flows"],
         rows=[
@@ -360,8 +451,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.batch:
         return _run_batch(args)
-    if args.profile:
-        return _run_profile(args)
+    if args.size_profile:
+        return _run_size_profile(args)
     names = list(args.figure)
     if args.all:
         names = sorted(ALL_FIGURES)

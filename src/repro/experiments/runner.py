@@ -18,6 +18,7 @@ from repro.metrics.stability import StabilityTracker
 from repro.metrics.throughput import per_host_goodput_gbps
 from repro.net.packet import Flow
 from repro.net.topology import Fabric, TopologyConfig
+from repro.obs.telemetry import Telemetry
 from repro.protocols.registry import get_protocol
 from repro.sim.context import SimContext
 from repro.sim.engine import EventLoop
@@ -110,6 +111,8 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
     proto.install_agents(ctx)
     for hook in spec.instruments:
         ctx.add_hook(hook)
+    if spec.observability is not None:
+        ctx.add_hook(Telemetry(spec.observability))
     return ctx
 
 
@@ -231,6 +234,7 @@ def run_flow_list(
         events_processed=env.events_processed,
         wall_seconds=time.perf_counter() - wall_start,
         audit=AuditReport.from_hooks(ctx.hooks),
+        telemetry=Telemetry.report_from_hooks(ctx.hooks),
     )
     return result
 
@@ -250,6 +254,8 @@ class IncastResult:
     fcts: List[float] = field(default_factory=list)
     #: AuditReport when auditors were passed via ``instruments``.
     audit: Optional[AuditReport] = None
+    #: ObsReport when ``observability`` was set; None otherwise.
+    telemetry: Optional[Any] = None
 
     @property
     def mean_rct(self) -> float:
@@ -269,6 +275,7 @@ def run_incast(
     seed: int = 42,
     protocol_config: Any = None,
     instruments: tuple = (),
+    observability: Any = None,
 ) -> IncastResult:
     """Closed-loop incast: each request fans N senders into one receiver;
     the next request starts when the previous completes."""
@@ -279,6 +286,7 @@ def run_incast(
         topology=topology or TopologyConfig.paper(),
         protocol_config=protocol_config,
         instruments=instruments,
+        observability=observability,
         seed=seed,
     )
     ctx = build_simulation(spec)
@@ -318,6 +326,7 @@ def run_incast(
     env.run(until=3600.0)  # safety wall; closed loop ends via env.stop()
     _finalize_hooks(ctx)
     result.audit = AuditReport.from_hooks(ctx.hooks)
+    result.telemetry = Telemetry.report_from_hooks(ctx.hooks)
     return result
 
 

@@ -65,6 +65,12 @@ class ExperimentSpec:
             :class:`~repro.sim.context.SimContext` by
             ``build_simulation`` — no hand-wiring needed.  In-process
             runs only: parallel workers cannot ship hook state back.
+        observability: Optional
+            :class:`~repro.obs.config.ObservabilityConfig`; when set,
+            the runner attaches a :class:`repro.obs.Telemetry` hook
+            (sampler / profiler / exporters per the config) and the
+            result carries a plain-data
+            :class:`~repro.obs.telemetry.ObsReport` in ``telemetry``.
         seed: RNG seed; everything is deterministic given it.
         label: Free-form tag for reports.
     """
@@ -86,6 +92,7 @@ class ExperimentSpec:
     max_sim_time: Optional[float] = None
     time_guard_factor: float = 20.0
     instruments: Tuple[Any, ...] = ()
+    observability: Any = None
     seed: int = 42
     label: str = ""
 
@@ -134,6 +141,9 @@ class ExperimentResult:
     #: AuditReport when auditors were attached via spec.instruments
     #: (see repro.validate); None otherwise.
     audit: Optional[Any] = None
+    #: ObsReport when spec.observability was set (see repro.obs);
+    #: None otherwise.  Plain data — survives pickling to workers.
+    telemetry: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Metric shortcuts (all over completed flows)

@@ -12,6 +12,7 @@ versus packets *injected* (transmitted at least once by a source).
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.net.packet import Flow, Packet
@@ -44,18 +45,35 @@ class MetricsCollector:
         self.last_completion: Optional[float] = None
         # Optional hook fired on each completion (incast driver uses it)
         self.on_complete: Optional[Callable[[Flow, float], None]] = None
-        # Optional observer receiving every event (see repro.trace);
-        # must expose flow_arrived/flow_completed/data_sent/
-        # data_delivered/control_sent.  None-guarded on the hot path.
-        # The single slot is the exclusive legacy attachment point (the
-        # tracer claims it and rejects double-attach); auditors use the
-        # additive ``add_observer`` list so they can stack freely.
-        self.observer = None
+        # Event observers (see repro.trace / repro.validate / repro.obs);
+        # each must expose flow_arrived/flow_completed/data_sent/
+        # data_delivered/control_sent.  ``add_observer`` is the
+        # attachment point — observers stack, so a tracer, the auditors
+        # and telemetry sinks coexist on one run.  ``_legacy_observer``
+        # backs the deprecated single-slot ``observer`` property.
+        self._legacy_observer = None
         self._observers: List = []
 
     def add_observer(self, observer) -> None:
-        """Register an additional event observer (auditors stack here)."""
+        """Register an event observer (tracers, auditors, sinks stack)."""
         self._observers.append(observer)
+
+    @property
+    def observer(self):
+        """Deprecated single-observer slot; use :meth:`add_observer`."""
+        return self._legacy_observer
+
+    @observer.setter
+    def observer(self, value) -> None:
+        if value is not None:
+            warnings.warn(
+                "MetricsCollector.observer is deprecated; use "
+                "add_observer() — observers stack, the single slot "
+                "does not",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._legacy_observer = value
 
     # ------------------------------------------------------------------
     # Flow lifecycle
@@ -65,8 +83,8 @@ class MetricsCollector:
         self.pkts_arrived += flow.n_pkts
         if self.first_arrival is None or now < self.first_arrival:
             self.first_arrival = now
-        if self.observer is not None:
-            self.observer.flow_arrived(flow, now)
+        if self._legacy_observer is not None:
+            self._legacy_observer.flow_arrived(flow, now)
         for obs in self._observers:
             obs.flow_arrived(flow, now)
 
@@ -78,8 +96,8 @@ class MetricsCollector:
         self.payload_bytes_delivered += flow.size_bytes
         if self.last_completion is None or now > self.last_completion:
             self.last_completion = now
-        if self.observer is not None:
-            self.observer.flow_completed(flow, now)
+        if self._legacy_observer is not None:
+            self._legacy_observer.flow_completed(flow, now)
         for obs in self._observers:
             obs.flow_completed(flow, now)
         if self.on_complete is not None:
@@ -93,8 +111,8 @@ class MetricsCollector:
             self.data_pkts_injected += 1
         else:
             self.data_pkts_retransmitted += 1
-        if self.observer is not None:
-            self.observer.data_sent(pkt, first_time)
+        if self._legacy_observer is not None:
+            self._legacy_observer.data_sent(pkt, first_time)
         for obs in self._observers:
             obs.data_sent(pkt, first_time)
 
@@ -106,16 +124,16 @@ class MetricsCollector:
             self.delivered_bytes_by_tenant[tenant] = (
                 self.delivered_bytes_by_tenant.get(tenant, 0) + payload
             )
-        if self.observer is not None:
-            self.observer.data_delivered(pkt)
+        if self._legacy_observer is not None:
+            self._legacy_observer.data_delivered(pkt)
         for obs in self._observers:
             obs.data_delivered(pkt)
 
     def data_duplicate(self, pkt: Packet) -> None:
         """A destination discarded an already-received data packet."""
         self.data_pkts_duplicate += 1
-        if self.observer is not None:
-            handler = getattr(self.observer, "data_duplicate", None)
+        if self._legacy_observer is not None:
+            handler = getattr(self._legacy_observer, "data_duplicate", None)
             if handler is not None:
                 handler(pkt)
         for obs in self._observers:
@@ -124,8 +142,8 @@ class MetricsCollector:
     def control_sent(self, pkt: Packet) -> None:
         self.control_pkts_sent += 1
         self.control_bytes_sent += pkt.size
-        if self.observer is not None:
-            self.observer.control_sent(pkt)
+        if self._legacy_observer is not None:
+            self._legacy_observer.control_sent(pkt)
         for obs in self._observers:
             obs.control_sent(pkt)
 

@@ -49,6 +49,8 @@ class Port:
         "pkts_enqueued",
         "pkts_pulled",
         "pkts_dropped",
+        "max_qlen_bytes",
+        "max_qlen_pkts",
     )
 
     def __init__(
@@ -78,6 +80,10 @@ class Port:
         self.pkts_enqueued = 0
         self.pkts_pulled = 0
         self.pkts_dropped = 0
+        # Queue high-water marks (post-drop occupancy, so they reflect
+        # what the buffer actually held).
+        self.max_qlen_bytes = 0
+        self.max_qlen_pkts = 0
 
     def connect(self, peer) -> None:
         """Attach the receiving end of this port's link."""
@@ -90,6 +96,12 @@ class Port:
         """Enqueue a packet for transmission (may drop at the queue)."""
         self.pkts_enqueued += 1
         dropped = self.queue.push(pkt)
+        qbytes = self.queue.bytes_queued
+        if qbytes > self.max_qlen_bytes:
+            self.max_qlen_bytes = qbytes
+        qpkts = len(self.queue)
+        if qpkts > self.max_qlen_pkts:
+            self.max_qlen_pkts = qpkts
         if dropped:
             self.pkts_dropped += len(dropped)
             if self.on_drop is not None:

@@ -314,6 +314,8 @@ class Fabric:
         for port in self.all_ports():
             port.bytes_sent = 0
             port.pkts_sent = 0
+            port.max_qlen_bytes = 0
+            port.max_qlen_pkts = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cfg = self.config

@@ -1,0 +1,55 @@
+"""repro.obs — run-wide observability for the simulator.
+
+The division of labor among the three instrumentation packages:
+
+* ``repro.validate`` answers *"is the simulation correct?"* — invariant
+  auditors that must never change results;
+* ``repro.trace`` answers *"what happened to this packet/flow?"* —
+  a bounded ring buffer of discrete events for debugging;
+* ``repro.obs`` (this package) answers *"what is the run doing, and how
+  fast?"* — continuous signals: an instrument registry every component
+  can publish to, periodic samplers producing time series, an
+  event-loop profiler, and exporters (JSONL, Chrome trace, text
+  summaries).
+
+Entry points: put an :class:`ObservabilityConfig` on
+``ExperimentSpec.observability`` (or pass ``--obs`` flags on the CLI)
+and read the resulting :class:`ObsReport` off the experiment result.
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.chrome import ChromeTraceSink, validate_chrome_trace
+from repro.obs.config import ObservabilityConfig
+from repro.obs.export import series_to_jsonl, write_text
+from repro.obs.instruments import register_run_instruments
+from repro.obs.profiler import EventLoopProfiler, Heartbeat
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    InstrumentRegistry,
+    instrument_key,
+)
+from repro.obs.sampler import PeriodicSampler
+from repro.obs.telemetry import ObsReport, Telemetry
+
+__all__ = [
+    "ChromeTraceSink",
+    "Counter",
+    "EventLoopProfiler",
+    "Gauge",
+    "Heartbeat",
+    "Histogram",
+    "Instrument",
+    "InstrumentRegistry",
+    "ObsReport",
+    "ObservabilityConfig",
+    "PeriodicSampler",
+    "Telemetry",
+    "instrument_key",
+    "register_run_instruments",
+    "series_to_jsonl",
+    "validate_chrome_trace",
+    "write_text",
+]

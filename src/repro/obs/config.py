@@ -1,0 +1,63 @@
+"""Observability configuration carried on an ``ExperimentSpec``.
+
+A single frozen dataclass describes everything `repro.obs` should do
+for one run: whether to sample, how often, where to write exports,
+whether to profile the event loop, and whether to emit a Chrome trace.
+``ExperimentSpec.observability`` holds one (or ``None`` for a bare
+run); the runner turns it into a bound :class:`repro.obs.Telemetry`
+hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ObservabilityConfig"]
+
+#: Default sampling period: 100 µs ≈ 8 sim-RTTs on the paper topology,
+#: fine enough to resolve an incast epoch without drowning tiny runs.
+DEFAULT_SAMPLE_PERIOD = 100e-6
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What telemetry to collect for one experiment run.
+
+    Attributes:
+        sample_period: Sim-time seconds between registry snapshots.
+            ``None`` disables the periodic sampler entirely (the
+            registry still exists and instruments still register —
+            that's the near-zero-overhead baseline the overhead guard
+            test pins down).
+        burn_in: Sim-time seconds to skip before the first sample.
+        out_dir: Directory for JSONL series / summary / profile dumps
+            (created on demand).  ``None`` keeps everything in memory.
+        profile: Install the event-loop profiler.
+        chrome_trace: Path for a Chrome ``trace_event`` JSON file;
+            ``None`` disables the trace sink.
+        heartbeat_wall_seconds: Wall-clock interval between progress
+            heartbeats while profiling (``None`` disables them).
+        sample_ports: Register per-port queue-depth/high-water gauges.
+        sample_links: Register per-link utilization gauges.
+        sample_protocols: Ask transport agents (and shared state such
+            as the Fastpass arbiter) to register their own instruments.
+    """
+
+    sample_period: Optional[float] = DEFAULT_SAMPLE_PERIOD
+    burn_in: float = 0.0
+    out_dir: Optional[str] = None
+    profile: bool = False
+    chrome_trace: Optional[str] = None
+    heartbeat_wall_seconds: Optional[float] = None
+    sample_ports: bool = True
+    sample_links: bool = True
+    sample_protocols: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_period is not None and self.sample_period <= 0:
+            raise ValueError("sample_period must be positive (or None to disable)")
+        if self.burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+        if self.heartbeat_wall_seconds is not None and self.heartbeat_wall_seconds < 0:
+            raise ValueError("heartbeat_wall_seconds must be non-negative")

@@ -1,0 +1,50 @@
+"""Flat-file exporters for telemetry data.
+
+JSONL for time series (one row object per line, NaN cells omitted so
+every line is strict JSON), plain text for run summaries.  These write
+whatever a :class:`~repro.metrics.timeseries.ColumnarSeries` or a
+telemetry report hands them — no simulation types involved, so they are
+safe to call from analysis scripts too.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.timeseries import ColumnarSeries
+
+__all__ = ["series_to_jsonl", "write_text"]
+
+
+def series_to_jsonl(series: "ColumnarSeries", path: str) -> str:
+    """Write one JSON object per sample row: ``{"t": ..., <col>: ...}``.
+
+    NaN cells (columns registered after a row was taken) are omitted
+    from their rows, keeping every line strict JSON.
+    """
+    import json
+
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        for t, row in series.rows():
+            record = {"t": t}
+            record.update(row)
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def write_text(text: str, path: str) -> str:
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    return path
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)

@@ -1,0 +1,231 @@
+"""Named instruments: counters, gauges and histograms with label sets.
+
+One :class:`InstrumentRegistry` lives on every run's
+:class:`~repro.sim.context.SimContext` (``ctx.obs``).  Components
+register instruments against it under dotted names plus a label set —
+``port.qlen_bytes{hop=4,port=tor0.down.h5}``,
+``phost.tokens.outstanding{src=h12}`` — and samplers/exporters consume
+them uniformly without knowing what produced them.
+
+The overhead contract: *registration is free until something reads*.
+Gauges wrap a callable that is only evaluated when a sink snapshots the
+registry, so a run with instruments registered but no sampler attached
+does zero extra work on the hot path.  Counters are one attribute
+increment; histograms one ``frexp`` plus a dict bump — both are meant
+for cold paths (drops, violations) or for explicitly opt-in profiling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "InstrumentRegistry",
+    "instrument_key",
+]
+
+
+def instrument_key(name: str, labels: Dict[str, object]) -> str:
+    """Canonical ``name{k=v,...}`` form; labels sorted by key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Instrument:
+    """Common shape of every registered instrument."""
+
+    kind = "instrument"
+    __slots__ = ("name", "labels", "key")
+
+    def __init__(self, name: str, labels: Dict[str, object]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.key = instrument_key(name, labels)
+
+    def read(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.key})"
+
+
+class Counter(Instrument):
+    """Monotonic event count; incremented by the instrumented code."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: Dict[str, object]) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def read(self) -> float:
+        return float(self.value)
+
+
+class Gauge(Instrument):
+    """A pull-based value: ``fn()`` is evaluated only at snapshot time."""
+
+    kind = "gauge"
+    __slots__ = ("fn",)
+
+    def __init__(self, name: str, labels: Dict[str, object], fn: Callable[[], float]) -> None:
+        super().__init__(name, labels)
+        self.fn = fn
+
+    def read(self) -> float:
+        return float(self.fn())
+
+
+class Histogram(Instrument):
+    """Log2-bucketed histogram of observed values.
+
+    Bucket ``e`` holds values ``v`` with ``2**(e-1) <= v < 2**e``
+    (``frexp`` exponent); zero and negatives land in a dedicated bucket.
+    Coarse on purpose: good enough to rank event handlers and spot
+    multi-modal timings without picking bucket edges per metric.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: Dict[str, object]) -> None:
+        super().__init__(name, labels)
+        self.buckets: Dict[Optional[int], int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        bucket: Optional[int]
+        if value > 0.0:
+            bucket = math.frexp(value)[1]
+        else:
+            bucket = None
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def read(self) -> float:
+        """Snapshot value of a histogram is its observation count."""
+        return float(self.count)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "buckets": {
+                ("<=0" if e is None else f"2^{e}"): n
+                for e, n in sorted(
+                    self.buckets.items(), key=lambda kv: (-1000 if kv[0] is None else kv[0])
+                )
+            },
+        }
+
+
+class InstrumentRegistry:
+    """All instruments of one run, keyed by canonical name+labels.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same key returns the same object (so instrumented code never
+    needs to coordinate), but asking for an existing key with a
+    *different* instrument kind is a naming bug and raises.  Gauges are
+    the exception — re-registering replaces the callable, because a
+    component rebuilt mid-run (e.g. a sampler attached late) must be
+    able to repoint its gauges at live objects.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, fn: Callable[[], float], **labels: object) -> Gauge:
+        key = instrument_key(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, Gauge):
+                raise ValueError(
+                    f"instrument {key!r} already registered as {existing.kind}"
+                )
+            existing.fn = fn
+            return existing
+        gauge = Gauge(name, labels, fn)
+        self._instruments[key] = gauge
+        return gauge
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object]):
+        key = instrument_key(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"instrument {key!r} already registered as {existing.kind}"
+                )
+            return existing
+        instrument = cls(name, labels)
+        self._instruments[key] = instrument
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, name: str, **labels: object) -> Optional[Instrument]:
+        return self._instruments.get(instrument_key(name, labels))
+
+    def instruments(self) -> List[Instrument]:
+        """All instruments, sorted by canonical key."""
+        return [self._instruments[k] for k in sorted(self._instruments)]
+
+    def with_prefix(self, prefix: str) -> List[Instrument]:
+        return [i for i in self.instruments() if i.name.startswith(prefix)]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Evaluate every counter and gauge; histograms report counts.
+
+        This is the sampler's entry point: one call yields one row of
+        the columnar time series.
+        """
+        return {key: self._instruments[key].read() for key in sorted(self._instruments)}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._instruments
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds: Dict[str, int] = {}
+        for i in self._instruments.values():
+            kinds[i.kind] = kinds.get(i.kind, 0) + 1
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return f"InstrumentRegistry({len(self)} instruments: {inner})"

@@ -1,0 +1,101 @@
+"""Periodic registry snapshots into a columnar time series.
+
+A :class:`PeriodicSampler` is an instrumentation hook: bound to a run's
+:class:`~repro.sim.context.SimContext` it schedules a self-rescheduling
+sim-time timer that snapshots every counter and gauge in the run's
+instrument registry (``ctx.obs``) into a
+:class:`~repro.metrics.timeseries.ColumnarSeries` — queue depths, link
+utilization, active flows, token state, whatever was registered.
+
+Scheduling contract (exercised in ``tests/obs/test_sampler.py``):
+
+* the first sample fires at ``max(now, burn_in)`` — attaching mid-run
+  simply starts sampling from the current time;
+* a period longer than the run yields at most the terminal sample taken
+  in :meth:`finalize` (never a crash);
+* a burn-in beyond the end of the run yields an empty, well-formed
+  series (the terminal sample respects burn-in too);
+* :meth:`finalize` always cancels the pending timer, so no dangling
+  event survives the run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.timeseries import ColumnarSeries
+from repro.sim.engine import EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import InstrumentRegistry
+    from repro.sim.context import SimContext
+
+__all__ = ["PeriodicSampler"]
+
+
+class PeriodicSampler:
+    """Self-rescheduling sim-time sampler over an instrument registry."""
+
+    def __init__(
+        self,
+        period: float,
+        burn_in: float = 0.0,
+        registry: Optional["InstrumentRegistry"] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("sample period must be positive")
+        if burn_in < 0:
+            raise ValueError("burn-in must be non-negative")
+        self.period = period
+        self.burn_in = burn_in
+        self.registry = registry  # None: use ctx.obs at bind time
+        self.series = ColumnarSeries()
+        self.samples_taken = 0
+        self._env = None
+        self._timer: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # Hook wiring
+    # ------------------------------------------------------------------
+    def bind(self, ctx: "SimContext") -> "PeriodicSampler":
+        self._env = ctx.env
+        if self.registry is None:
+            self.registry = ctx.obs
+        first = max(ctx.env.now, self.burn_in)
+        self._timer = ctx.env.schedule_at(first, self._tick)
+        return self
+
+    def finalize(self, ctx: "SimContext") -> None:
+        """Cancel the timer and take a terminal sample (post burn-in)."""
+        self.stop()
+        if self._env is not None and self._env.now >= self.burn_in:
+            if not self.series.times or self.series.times[-1] != self._env.now:
+                self.sample()
+
+    def stop(self) -> None:
+        EventLoop.cancel(self._timer)
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self.sample()
+        self._timer = self._env.schedule(self.period, self._tick)
+
+    def sample(self) -> None:
+        """Snapshot the registry into one series row, timestamped now."""
+        self.series.append(self._env.now, self.registry.snapshot())
+        self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True while the next tick is scheduled."""
+        return EventLoop.is_pending(self._timer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PeriodicSampler(period={self.period:g}, burn_in={self.burn_in:g}, "
+            f"samples={self.samples_taken})"
+        )

@@ -1,0 +1,185 @@
+"""The run-level telemetry hook tying the observability pieces together.
+
+``ExperimentSpec.observability`` (an
+:class:`~repro.obs.config.ObservabilityConfig`) makes the runner attach
+one :class:`Telemetry` hook to the run.  On ``bind`` it registers the
+standard instrument set on ``ctx.obs`` and stands up whichever sinks
+the config asks for — periodic sampler, event-loop profiler, Chrome
+trace.  On ``finalize`` it tears them down, writes any requested files
+and distills everything into a plain-data :class:`ObsReport` that rides
+on the :class:`~repro.experiments.spec.ExperimentResult` (picklable, so
+the parallel sweep runner can ship it across processes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.metrics.timeseries import ColumnarSeries
+from repro.obs.chrome import ChromeTraceSink
+from repro.obs.config import ObservabilityConfig
+from repro.obs.export import series_to_jsonl, write_text
+from repro.obs.instruments import register_run_instruments
+from repro.obs.profiler import EventLoopProfiler
+from repro.obs.sampler import PeriodicSampler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.context import SimContext
+
+__all__ = ["Telemetry", "ObsReport"]
+
+
+class ObsReport:
+    """Plain-data telemetry outcome of one run.
+
+    Holds only built-in containers and :class:`ColumnarSeries` (itself
+    lists and dicts), never live simulation objects.
+    """
+
+    def __init__(
+        self,
+        series: Optional[ColumnarSeries],
+        samples_taken: int,
+        n_instruments: int,
+        profile: Optional[Dict[str, object]],
+        profile_text: Optional[str],
+        chrome_trace_path: Optional[str],
+        chrome_trace_events: int,
+        written: List[str],
+    ) -> None:
+        self.series = series
+        self.samples_taken = samples_taken
+        self.n_instruments = n_instruments
+        self.profile = profile
+        self.profile_text = profile_text
+        self.chrome_trace_path = chrome_trace_path
+        self.chrome_trace_events = chrome_trace_events
+        self.written = written
+
+    def summary(self) -> str:
+        parts = [f"{self.n_instruments} instruments"]
+        if self.series is not None:
+            parts.append(
+                f"{self.samples_taken} samples x {len(self.series.columns)} columns"
+            )
+        if self.profile is not None:
+            parts.append(f"{self.profile['total_events']} events profiled")
+        if self.chrome_trace_path is not None:
+            parts.append(
+                f"chrome trace: {self.chrome_trace_path} "
+                f"({self.chrome_trace_events} events)"
+            )
+        for path in self.written:
+            parts.append(f"wrote {path}")
+        return "telemetry: " + "; ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ObsReport({self.summary()})"
+
+
+class Telemetry:
+    """Instrumentation hook wiring ``repro.obs`` into one run."""
+
+    def __init__(self, config: Optional[ObservabilityConfig] = None) -> None:
+        self.config = config if config is not None else ObservabilityConfig()
+        self.sampler: Optional[PeriodicSampler] = None
+        self.profiler: Optional[EventLoopProfiler] = None
+        self.chrome: Optional[ChromeTraceSink] = None
+        self.report: Optional[ObsReport] = None
+        self._ctx = None
+
+    # ------------------------------------------------------------------
+    # Hook interface
+    # ------------------------------------------------------------------
+    def bind(self, ctx: "SimContext") -> "Telemetry":
+        if self._ctx is not None:
+            raise RuntimeError("Telemetry hook is already bound to a run")
+        self._ctx = ctx
+        register_run_instruments(ctx, self.config)
+        cfg = self.config
+        if cfg.sample_period is not None:
+            self.sampler = PeriodicSampler(cfg.sample_period, cfg.burn_in)
+            self.sampler.bind(ctx)
+        if cfg.profile:
+            self.profiler = EventLoopProfiler(
+                heartbeat_wall_seconds=cfg.heartbeat_wall_seconds
+            )
+            self.profiler.bind(ctx)
+        if cfg.chrome_trace is not None:
+            self.chrome = ChromeTraceSink(cfg.chrome_trace)
+            self.chrome.bind(ctx)
+        return self
+
+    def finalize(self, ctx: "SimContext") -> None:
+        if self.sampler is not None:
+            self.sampler.finalize(ctx)
+        if self.chrome is not None:
+            chrome_path = self.chrome.path
+            if chrome_path is not None:
+                os.makedirs(
+                    os.path.dirname(os.path.abspath(chrome_path)), exist_ok=True
+                )
+            self.chrome.finalize(ctx)
+        written: List[str] = []
+        if self.config.out_dir is not None:
+            written = self._write_outputs(self.config.out_dir, ctx)
+        self.report = ObsReport(
+            series=self.sampler.series if self.sampler is not None else None,
+            samples_taken=self.sampler.samples_taken if self.sampler is not None else 0,
+            n_instruments=len(ctx.obs),
+            profile=self.profiler.to_dict() if self.profiler is not None else None,
+            profile_text=self.profiler.report() if self.profiler is not None else None,
+            chrome_trace_path=self.chrome.path if self.chrome is not None else None,
+            chrome_trace_events=len(self.chrome) if self.chrome is not None else 0,
+            written=written,
+        )
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def _write_outputs(self, out_dir: str, ctx: "SimContext") -> List[str]:
+        os.makedirs(out_dir, exist_ok=True)
+        written: List[str] = []
+        if self.sampler is not None:
+            written.append(
+                series_to_jsonl(self.sampler.series, os.path.join(out_dir, "series.jsonl"))
+            )
+        if self.profiler is not None:
+            written.append(
+                write_text(self.profiler.report(), os.path.join(out_dir, "profile.txt"))
+            )
+        written.append(
+            write_text(self._summary_text(ctx), os.path.join(out_dir, "summary.txt"))
+        )
+        return written
+
+    def _summary_text(self, ctx: "SimContext") -> str:
+        collector = ctx.collector
+        lines = [
+            "run summary",
+            f"  sim time:        {ctx.env.now:.6f} s",
+            f"  events:          {ctx.env.events_processed}",
+            f"  flows:           {collector.n_completed}/{collector.n_flows} completed",
+            f"  data delivered:  {collector.data_pkts_delivered} pkts "
+            f"({collector.payload_bytes_delivered} payload bytes)",
+            f"  retransmissions: {collector.data_pkts_retransmitted}",
+            f"  control pkts:    {collector.control_pkts_sent}",
+            f"  drops by hop:    {dict(sorted(ctx.fabric.drops_by_hop.items()))}",
+            f"  instruments:     {len(ctx.obs)}",
+        ]
+        if self.sampler is not None:
+            lines.append(f"  samples:         {self.sampler.samples_taken}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def report_from_hooks(hooks) -> Optional[ObsReport]:
+        """The first finalized Telemetry report among ``hooks``, if any."""
+        for hook in hooks:
+            if isinstance(hook, Telemetry) and hook.report is not None:
+                return hook.report
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Telemetry({self.config!r})"

@@ -68,6 +68,17 @@ class TransportAgent:
     def on_packet(self, pkt: Packet) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- observability ----------------------------------------------------
+    def register_instruments(self, registry) -> None:
+        """Publish protocol state as gauges on the run's
+        :class:`~repro.obs.registry.InstrumentRegistry`.
+
+        Called per host by :func:`repro.obs.register_run_instruments`
+        when telemetry is enabled.  The default registers nothing;
+        subclasses add pull-based gauges (evaluated only at snapshot
+        time, so registration never perturbs the simulation).
+        """
+
     # -- NIC integration --------------------------------------------------
     # Subclasses using the pull path assign a callable; the Host install
     # hook looks this attribute up.  None means push-only.

@@ -89,6 +89,14 @@ class FastpassAgent(TransportAgent):
         self.dst_flows: Dict[int, _DstFlow] = {}
         self.finished_rx: Set[int] = set()
 
+    def register_instruments(self, registry) -> None:
+        """Per-host flow state as pull-based gauges (the arbiter
+        registers its own run-wide set via the shared-state path)."""
+        host = f"h{self.host.node_id}"
+        registry.gauge(
+            "fastpass.flows.src_active", lambda: len(self.src_flows), host=host
+        )
+
     # ------------------------------------------------------------------
     # Source side
     # ------------------------------------------------------------------

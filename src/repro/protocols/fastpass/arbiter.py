@@ -160,6 +160,20 @@ class FastpassArbiter:
     def pending_demand_pkts(self) -> int:
         return sum(r.remaining for r in self.demands.values())
 
+    def register_instruments(self, registry) -> None:
+        """Run-wide arbiter state as pull-based gauges (the shared-state
+        half of :func:`repro.obs.register_run_instruments`)."""
+        registry.gauge("fastpass.arbiter.demands", lambda: len(self.demands))
+        registry.gauge(
+            "fastpass.arbiter.pending_pkts", lambda: self.pending_demand_pkts()
+        )
+        registry.gauge(
+            "fastpass.arbiter.requests", lambda: self.requests_received
+        )
+        registry.gauge(
+            "fastpass.arbiter.slots_allocated", lambda: self.slots_allocated
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"FastpassArbiter(demands={len(self.demands)}, "

@@ -31,7 +31,12 @@ __all__ = ["ideal_config", "IDEAL_SPEC"]
 
 
 def ideal_config(ctx) -> FastpassConfig:
-    """Per-slot scheduling, instantaneous control plane."""
+    """Per-slot scheduling, instantaneous control plane.
+
+    Telemetry note: agents are plain :class:`FastpassAgent` instances,
+    so ideal runs publish the ``fastpass.*`` instrument set (per-host
+    flow gauges plus the shared arbiter's demand/allocation gauges).
+    """
     return FastpassConfig(
         epoch_pkts=1,
         control_latency=0.0,

@@ -112,6 +112,19 @@ class PFabricAgent(TransportAgent):
         self.finished_rx: Set[int] = set()
         self.timeouts = 0
 
+    def register_instruments(self, registry) -> None:
+        """Window/timeout state as pull-based gauges."""
+        host = f"h{self.host.node_id}"
+        registry.gauge(
+            "pfabric.flows.src_active", lambda: len(self.src_flows), host=host
+        )
+        registry.gauge(
+            "pfabric.pkts.in_flight",
+            lambda: sum(s.in_flight for s in self.src_flows.values()),
+            src=host,
+        )
+        registry.gauge("pfabric.timeouts", lambda: self.timeouts, host=host)
+
     # ------------------------------------------------------------------
     # Source side
     # ------------------------------------------------------------------

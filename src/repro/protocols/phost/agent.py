@@ -67,6 +67,30 @@ class PHostAgent(TransportAgent):
     def kick_nic(self) -> None:
         self.host.port.kick()
 
+    def register_instruments(self, registry) -> None:
+        """pHost token/flow state as pull-based gauges (paper §4.3)."""
+        host = f"h{self.host.node_id}"
+        source, destination = self.source, self.destination
+        registry.gauge(
+            "phost.flows.src_active", lambda: len(source.flows), host=host
+        )
+        registry.gauge(
+            "phost.flows.dst_pending",
+            lambda: destination.pending_flow_count,
+            host=host,
+        )
+        registry.gauge(
+            "phost.tokens.outstanding",
+            lambda: sum(len(s.tokens) for s in source.flows.values()),
+            src=host,
+        )
+        registry.gauge(
+            "phost.tokens.granted", lambda: destination.tokens_granted, dst=host
+        )
+        registry.gauge(
+            "phost.tokens.expired", lambda: source.tokens_expired, src=host
+        )
+
     def data_priority(self, flow: Flow) -> int:
         """Priority band for a flow's data packets (paper §2.2/§3.3:
         one of pHost's degrees of freedom).

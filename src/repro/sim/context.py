@@ -43,7 +43,16 @@ class SimContext:
     (they only read the substrate fields).
     """
 
-    __slots__ = ("env", "rng", "fabric", "collector", "config", "shared", "hooks")
+    __slots__ = (
+        "env",
+        "rng",
+        "fabric",
+        "collector",
+        "config",
+        "shared",
+        "hooks",
+        "obs",
+    )
 
     def __init__(
         self,
@@ -67,6 +76,13 @@ class SimContext:
         self.shared = shared
         #: Instrumentation hooks bound to this run (see :meth:`add_hook`).
         self.hooks: List[Any] = list(hooks) if hooks else []
+        #: The run's instrument registry (see :mod:`repro.obs`).  Always
+        #: present; registration is near-free and nothing is evaluated
+        #: until a sink (sampler/exporter) snapshots it.  Imported
+        #: lazily to keep ``sim`` free of package-level cycles.
+        from repro.obs.registry import InstrumentRegistry
+
+        self.obs = InstrumentRegistry()
 
     # ------------------------------------------------------------------
     # Instrumentation

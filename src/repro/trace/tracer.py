@@ -48,11 +48,15 @@ class PacketTracer:
     # Wiring
     # ------------------------------------------------------------------
     def attach(self, collector: MetricsCollector, fabric: Fabric) -> "PacketTracer":
-        """Install this tracer as the collector's observer and tap the
-        fabric's drop hook (chaining any hook already present)."""
-        if collector.observer is not None:
-            raise RuntimeError("collector already has an observer attached")
-        collector.observer = self
+        """Stack this tracer onto the collector's observer list and tap
+        the fabric's drop hook (chaining any hook already present).
+
+        Observers are additive — a tracer coexists with auditors and
+        telemetry sinks on one run.  Attaching the *same* tracer twice
+        is still rejected (it would double-record every event)."""
+        if self._env is not None:
+            raise RuntimeError("tracer is already attached to a run")
+        collector.add_observer(self)
         self._env = fabric.env
         self._chained_drop_hook = fabric.drop_hook
         fabric.drop_hook = self._on_drop

@@ -100,6 +100,10 @@ class Auditor:
         self.checks: Dict[str, InvariantCheck] = {}
         self._order: List[Violation] = []  # all violations, in event order
         self._chained_drop_hook = None
+        #: Free-form end-of-run facts (not violations) the auditor wants
+        #: to surface — e.g. queue high-water marks.  Filled by
+        #: :meth:`finalize`; aggregated into ``AuditReport.context``.
+        self.context: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Hook wiring
@@ -220,6 +224,11 @@ class AuditReport:
         out.sort(key=lambda v: v.time)
         return out
 
+    @property
+    def context(self) -> Dict[str, Dict[str, Any]]:
+        """Per-auditor end-of-run facts (only auditors that set any)."""
+        return {a.name: dict(a.context) for a in self.auditors if a.context}
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         first = self.first_violation()
@@ -227,6 +236,7 @@ class AuditReport:
             "ok": self.ok,
             "total_violations": self.total_violations,
             "first_violation": first.to_dict() if first is not None else None,
+            "context": self.context,
             "auditors": {
                 a.name: {
                     "ok": a.ok,

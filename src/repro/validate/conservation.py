@@ -237,3 +237,30 @@ class ConservationAuditor(Auditor):
                     f"queued={len(port.queue)}, in_tx={int(port.busy)})",
                     port=port.name, entered=entered, exited=exited,
                 )
+        self._record_high_water(ctx)
+
+    def _record_high_water(self, ctx) -> None:
+        """Surface queue high-water marks through AuditReport.context.
+
+        Not an invariant — occupancy peaks are legitimate — but the
+        single most useful fact when a port ledger *does* break, and
+        the paper's Fig. 9 incast analysis hinges on it.
+        """
+        peak_bytes_port = None
+        peak_pkts_port = None
+        by_hop: Dict[int, int] = {}
+        for port in ctx.fabric.all_ports():
+            if peak_bytes_port is None or port.max_qlen_bytes > peak_bytes_port.max_qlen_bytes:
+                peak_bytes_port = port
+            if peak_pkts_port is None or port.max_qlen_pkts > peak_pkts_port.max_qlen_pkts:
+                peak_pkts_port = port
+            hop = port.hop_index
+            if port.max_qlen_bytes > by_hop.get(hop, 0):
+                by_hop[hop] = port.max_qlen_bytes
+        if peak_bytes_port is None:
+            return
+        self.context["max_qlen_bytes"] = peak_bytes_port.max_qlen_bytes
+        self.context["max_qlen_bytes_port"] = peak_bytes_port.name
+        self.context["max_qlen_pkts"] = peak_pkts_port.max_qlen_pkts
+        self.context["max_qlen_pkts_port"] = peak_pkts_port.name
+        self.context["max_qlen_bytes_by_hop"] = dict(sorted(by_hop.items()))

@@ -74,7 +74,7 @@ def test_figure_json(capsys):
 def test_profile_mode(capsys):
     from repro.experiments.cli import main as cli_main
 
-    assert cli_main(["--profile", "phost", "imc10", "--scale", "tiny",
+    assert cli_main(["--size-profile", "phost", "imc10", "--scale", "tiny",
                      "--flows", "60"]) == 0
     out = capsys.readouterr().out
     assert "slowdown by flow size" in out
@@ -85,8 +85,8 @@ def test_profile_json(capsys):
     import json as json_mod
     from repro.experiments.cli import main as cli_main
 
-    assert cli_main(["--profile", "pfabric", "imc10", "--scale", "tiny",
+    assert cli_main(["--size-profile", "pfabric", "imc10", "--scale", "tiny",
                      "--flows", "60", "--json"]) == 0
     payload = json_mod.loads(capsys.readouterr().out)
-    assert payload["figure"] == "profile"
+    assert payload["figure"] == "size-profile"
     assert payload["rows"]

@@ -20,7 +20,7 @@ def wired_sim(window=50e-6):
     ctx = build_simulation(spec)
     env, fabric, collector, _ = ctx.env, ctx.fabric, ctx.collector, ctx.config
     series = ThroughputSeries(env, window)
-    collector.observer = series
+    collector.add_observer(series)
     return env, fabric, collector, series
 
 

@@ -129,3 +129,30 @@ def test_unconnected_port_drops_silently():
     port.send(data_pkt())
     env.run()  # no exception
     assert port.pkts_sent == 1
+
+
+def test_queue_high_water_marks():
+    env = EventLoop()
+    port, sink = make_port(env)
+    # Three packets back-to-back: the first starts transmitting
+    # immediately, so at most two sit in the queue at once.
+    for seq in range(3):
+        port.send(data_pkt(1500, seq=seq))
+    assert port.max_qlen_pkts == 2
+    assert port.max_qlen_bytes == 3000
+    env.run()
+    # Draining never lowers a high-water mark.
+    assert port.max_qlen_pkts == 2
+    assert port.max_qlen_bytes == 3000
+    assert len(port.queue) == 0
+
+
+def test_high_water_reflects_post_drop_occupancy():
+    env = EventLoop()
+    # Capacity of two packets: the third push overflows and is dropped.
+    port, sink = make_port(env, cap=3_000)
+    for seq in range(6):
+        port.send(data_pkt(1500, seq=seq))
+    assert port.pkts_dropped > 0
+    assert port.max_qlen_bytes <= 3_000
+    assert port.max_qlen_pkts <= 2

@@ -1,0 +1,103 @@
+"""Unit tests for the instrument registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentRegistry,
+    instrument_key,
+)
+
+
+def test_key_labels_sorted_canonically():
+    assert instrument_key("port.qlen", {}) == "port.qlen"
+    assert (
+        instrument_key("port.qlen", {"port": 3, "node": "core0"})
+        == "port.qlen{node=core0,port=3}"
+    )
+
+
+def test_counter_get_or_create_same_object():
+    reg = InstrumentRegistry()
+    a = reg.counter("drops", hop=4)
+    b = reg.counter("drops", hop=4)
+    assert a is b
+    a.inc()
+    b.inc(2)
+    assert a.read() == 3.0
+
+
+def test_kind_mismatch_raises():
+    reg = InstrumentRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x", lambda: 0.0)
+    with pytest.raises(ValueError):
+        reg.histogram("x")
+
+
+def test_gauge_is_pull_based():
+    reg = InstrumentRegistry()
+    calls = []
+
+    def fn():
+        calls.append(1)
+        return 7.0
+
+    gauge = reg.gauge("qlen", fn, port="h0.nic")
+    assert calls == []  # registration never evaluates
+    assert gauge.read() == 7.0
+    assert len(calls) == 1
+
+
+def test_gauge_reregistration_replaces_callable():
+    reg = InstrumentRegistry()
+    reg.gauge("qlen", lambda: 1.0)
+    g = reg.gauge("qlen", lambda: 2.0)
+    assert g.read() == 2.0
+    assert len(reg) == 1
+
+
+def test_histogram_log2_buckets_and_stats():
+    reg = InstrumentRegistry()
+    h = reg.histogram("lat")
+    for v in (0.75, 1.5, 1.9, 3.0, 0.0, -1.0):
+        h.observe(v)
+    d = h.to_dict()
+    assert d["count"] == 6
+    assert d["buckets"]["<=0"] == 2
+    assert d["buckets"]["2^0"] == 1  # 0.75 in [0.5, 1)
+    assert d["buckets"]["2^1"] == 2  # 1.5, 1.9 in [1, 2)
+    assert d["buckets"]["2^2"] == 1  # 3.0 in [2, 4)
+    assert d["min"] == -1.0 and d["max"] == 3.0
+    assert h.mean == pytest.approx(sum((0.75, 1.5, 1.9, 3.0, 0.0, -1.0)) / 6)
+
+
+def test_snapshot_sorted_and_typed():
+    reg = InstrumentRegistry()
+    reg.counter("b").inc(5)
+    reg.gauge("a", lambda: 1.5)
+    h = reg.histogram("c")
+    h.observe(2.0)
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "b", "c"]  # canonical key order
+    assert snap == {"a": 1.5, "b": 5.0, "c": 1.0}  # histogram reads count
+
+
+def test_queries():
+    reg = InstrumentRegistry()
+    reg.counter("port.drops", hop=1)
+    reg.counter("port.drops", hop=4)
+    reg.gauge("flows.active", lambda: 0)
+    assert "port.drops{hop=4}" in reg
+    assert reg.get("port.drops", hop=4) is not None
+    assert reg.get("port.drops", hop=9) is None
+    assert [i.key for i in reg.with_prefix("port.")] == [
+        "port.drops{hop=1}",
+        "port.drops{hop=4}",
+    ]
+    assert len(reg.instruments()) == 3

@@ -1,0 +1,114 @@
+"""Sampler scheduling edge cases (the satellite-task checklist).
+
+Each case must yield a well-formed (possibly empty) series — never a
+crash, never a timer left dangling in the event loop.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments.runner import run_flow_list
+from repro.experiments.spec import ExperimentSpec
+from repro.net.topology import TopologyConfig
+from repro.obs import InstrumentRegistry, ObservabilityConfig, PeriodicSampler
+from repro.sim.engine import EventLoop
+
+
+def make_ctx():
+    """A minimal context: the sampler only touches env and obs."""
+    env = EventLoop()
+    return SimpleNamespace(env=env, obs=InstrumentRegistry())
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PeriodicSampler(0.0)
+    with pytest.raises(ValueError):
+        PeriodicSampler(1.0, burn_in=-1.0)
+
+
+def test_periodic_sampling_and_terminal_sample():
+    ctx = make_ctx()
+    ticks = {"n": 0}
+    ctx.obs.gauge("x", lambda: ticks["n"])
+    sampler = PeriodicSampler(period=1.0).bind(ctx)
+    ctx.env.schedule_at(2.5, lambda: ticks.__setitem__("n", 5))
+    ctx.env.run(until=3.5)
+    sampler.finalize(ctx)
+    # Ticks at t=0,1,2,3 plus the terminal sample at 3.5.
+    assert sampler.series.times == [0.0, 1.0, 2.0, 3.0, 3.5]
+    assert sampler.series.column("x") == [0.0, 0.0, 0.0, 5.0, 5.0]
+    assert not sampler.active
+    assert ctx.env.pending_count() == 0
+
+
+def test_period_longer_than_run():
+    ctx = make_ctx()
+    ctx.obs.gauge("x", lambda: 1.0)
+    sampler = PeriodicSampler(period=100.0, burn_in=50.0).bind(ctx)
+    ctx.env.schedule_at(1.0, lambda: None)
+    ctx.env.run(until=2.0)
+    sampler.finalize(ctx)
+    # The first tick (at burn_in=50) never fired; no terminal sample
+    # either since the run ended before burn-in.
+    assert len(sampler.series) == 0
+    assert sampler.series.names() == []
+    assert not sampler.active
+    assert ctx.env.pending_count() == 0  # no dangling timer
+
+
+def test_burn_in_skips_early_samples_but_terminal_respects_it():
+    ctx = make_ctx()
+    ctx.obs.gauge("x", lambda: 1.0)
+    sampler = PeriodicSampler(period=1.0, burn_in=2.5).bind(ctx)
+    ctx.env.schedule_at(4.2, lambda: None)
+    ctx.env.run(until=4.2)
+    sampler.finalize(ctx)
+    # First tick at 2.5 (burn-in), then 3.5, then terminal at 4.2.
+    assert sampler.series.times == [2.5, 3.5, 4.2]
+    assert ctx.env.pending_count() == 0
+
+
+def test_mid_run_attach_starts_at_now():
+    ctx = make_ctx()
+    ctx.obs.gauge("x", lambda: 1.0)
+    ctx.env.schedule_at(10.0, lambda: None)
+    ctx.env.run(until=10.0)
+    sampler = PeriodicSampler(period=1.0).bind(ctx)  # attached at t=10
+    ctx.env.schedule_at(12.0, lambda: None)
+    ctx.env.run(until=12.0)
+    sampler.finalize(ctx)
+    assert sampler.series.times == [10.0, 11.0, 12.0]
+    assert ctx.env.pending_count() == 0
+
+
+def test_stop_is_idempotent_and_cancels_timer():
+    ctx = make_ctx()
+    sampler = PeriodicSampler(period=1.0).bind(ctx)
+    assert sampler.active
+    sampler.stop()
+    sampler.stop()
+    assert not sampler.active
+    assert ctx.env.pending_count() == 0
+
+
+def test_zero_flow_run_yields_well_formed_series():
+    spec = ExperimentSpec(
+        protocol="phost",
+        workload="fixed:1",  # ignored by run_flow_list
+        n_flows=1,
+        topology=TopologyConfig.small(),
+        observability=ObservabilityConfig(sample_period=0.01),
+        seed=7,
+    )
+    result = run_flow_list(spec, [])
+    report = result.telemetry
+    assert report is not None
+    assert report.samples_taken >= 1  # first tick at t=0 plus terminal
+    series = report.series
+    assert all(len(col) == len(series.times) for col in series.columns.values())
+    # Nothing ever ran, so activity gauges stay flat at zero.
+    assert all(v == 0.0 for v in series.column("flows.active"))

@@ -103,10 +103,21 @@ def test_drop_events_capture_hop():
         assert all(e.detail.startswith("hop") for e in drops)
 
 
-def test_double_attach_rejected():
+def test_observers_stack():
+    # Observers are additive: a second tracer coexists with the first
+    # and both see the same events.
+    env, fabric, collector, tracer = traced_sim()
+    second = PacketTracer().attach(collector, fabric)
+    run_flow(env, fabric, collector, Flow(1, 0, 1, 3000, 0.0))
+    env.run(until=0.05)
+    assert len(tracer) > 0
+    assert len(second) == len(tracer)
+
+
+def test_same_tracer_double_attach_rejected():
     env, fabric, collector, tracer = traced_sim()
     with pytest.raises(RuntimeError):
-        PacketTracer().attach(collector, fabric)
+        tracer.attach(collector, fabric)
 
 
 def test_capacity_validation():
