@@ -23,6 +23,7 @@ from repro.protocols.registry import get_protocol
 from repro.sim.context import SimContext
 from repro.sim.engine import EventLoop
 from repro.sim.randoms import SeededRng
+from repro.sim.tuning import SimTuning
 from repro.validate.base import AuditReport
 from repro.workloads.deadlines import assign_deadlines
 from repro.workloads.distributions import WORKLOADS, bimodal, fixed_size
@@ -84,7 +85,10 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
     shared state, instrumentation hooks).  Exposed so tests and custom
     drivers (incast, examples) can reuse the wiring.
     """
-    env = EventLoop()
+    tuning = spec.tuning if spec.tuning is not None else SimTuning()
+    env = EventLoop(timer_resolution=tuning.wheel_resolution)
+    env.timer_wheel_enabled = tuning.timer_wheel
+    env.drain_enabled = tuning.inline_drain
     rng = SeededRng(spec.seed)
     proto = get_protocol(spec.protocol)
     topo = spec.with_topology_buffer()
@@ -99,7 +103,10 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
         queue_factory=lambda cap: proto.switch_queue_factory(cap),
         host_queue_factory=lambda cap: proto.host_queue_factory(cap),
     )
-    ctx = SimContext(env, rng, fabric, collector)
+    if not tuning.fused_ports:
+        for port in fabric.all_ports():
+            port.fused = False
+    ctx = SimContext(env, rng, fabric, collector, tuning=tuning)
     if spec.protocol_config is not None:
         config = spec.protocol_config
         if hasattr(config, "resolve"):
@@ -107,12 +114,23 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
         ctx.config = config
     else:
         ctx.config = proto.build_config(ctx)
+    if getattr(ctx.config, "use_timer_wheel", None) is False:
+        # Protocol-config escape hatch: force pure-heap timers for this
+        # run without touching the spec-level tuning.
+        env.timer_wheel_enabled = False
     ctx.shared = proto.build_shared(ctx)
     proto.install_agents(ctx)
     for hook in spec.instruments:
         ctx.add_hook(hook)
     if spec.observability is not None:
         ctx.add_hook(Telemetry(spec.observability))
+    if any(getattr(h, "retains_packets", False) for h in ctx.hooks):
+        # A hook that keeps packet references past delivery makes
+        # recycling unsound; pooling quietly turns off for this run.
+        ctx.pool.enabled = False
+    if ctx.pool.enabled:
+        for host in fabric.hosts:
+            host.pool = ctx.pool
     return ctx
 
 
@@ -276,6 +294,7 @@ def run_incast(
     protocol_config: Any = None,
     instruments: tuple = (),
     observability: Any = None,
+    tuning: Any = None,
 ) -> IncastResult:
     """Closed-loop incast: each request fans N senders into one receiver;
     the next request starts when the previous completes."""
@@ -287,6 +306,7 @@ def run_incast(
         protocol_config=protocol_config,
         instruments=instruments,
         observability=observability,
+        tuning=tuning,
         seed=seed,
     )
     ctx = build_simulation(spec)

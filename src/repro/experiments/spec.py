@@ -71,6 +71,11 @@ class ExperimentSpec:
             (sampler / profiler / exporters per the config) and the
             result carries a plain-data
             :class:`~repro.obs.telemetry.ObsReport` in ``telemetry``.
+        tuning: Hot-path optimization switches
+            (:class:`~repro.sim.tuning.SimTuning`); None means all
+            optimizations on.  Results are byte-identical for any
+            setting — the knobs exist for the determinism suite and for
+            benchmarking against ``SimTuning.baseline()``.
         seed: RNG seed; everything is deterministic given it.
         label: Free-form tag for reports.
     """
@@ -93,6 +98,7 @@ class ExperimentSpec:
     time_guard_factor: float = 20.0
     instruments: Tuple[Any, ...] = ()
     observability: Any = None
+    tuning: Any = None
     seed: int = 42
     label: str = ""
 

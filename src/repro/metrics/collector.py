@@ -113,8 +113,9 @@ class MetricsCollector:
             self.data_pkts_retransmitted += 1
         if self._legacy_observer is not None:
             self._legacy_observer.data_sent(pkt, first_time)
-        for obs in self._observers:
-            obs.data_sent(pkt, first_time)
+        if self._observers:
+            for obs in self._observers:
+                obs.data_sent(pkt, first_time)
 
     def data_delivered(self, pkt: Packet) -> None:
         self.data_pkts_delivered += 1
@@ -126,8 +127,9 @@ class MetricsCollector:
             )
         if self._legacy_observer is not None:
             self._legacy_observer.data_delivered(pkt)
-        for obs in self._observers:
-            obs.data_delivered(pkt)
+        if self._observers:
+            for obs in self._observers:
+                obs.data_delivered(pkt)
 
     def data_duplicate(self, pkt: Packet) -> None:
         """A destination discarded an already-received data packet."""
@@ -136,16 +138,18 @@ class MetricsCollector:
             handler = getattr(self._legacy_observer, "data_duplicate", None)
             if handler is not None:
                 handler(pkt)
-        for obs in self._observers:
-            obs.data_duplicate(pkt)
+        if self._observers:
+            for obs in self._observers:
+                obs.data_duplicate(pkt)
 
     def control_sent(self, pkt: Packet) -> None:
         self.control_pkts_sent += 1
         self.control_bytes_sent += pkt.size
         if self._legacy_observer is not None:
             self._legacy_observer.control_sent(pkt)
-        for obs in self._observers:
-            obs.control_sent(pkt)
+        if self._observers:
+            for obs in self._observers:
+                obs.control_sent(pkt)
 
     # ------------------------------------------------------------------
     # Derived views

@@ -35,13 +35,14 @@ class Node:
 class Host(Node):
     """An end host: NIC port + a pluggable transport agent."""
 
-    __slots__ = ("port", "agent", "rack")
+    __slots__ = ("port", "agent", "rack", "pool")
 
     def __init__(self, node_id: int, rack: int, port: Port) -> None:
         super().__init__(node_id, name=f"h{node_id}")
         self.rack = rack
         self.port = port
         self.agent = None  # set by the experiment runner
+        self.pool = None  # PacketPool, set by the runner when pooling is on
 
     def install_agent(self, agent) -> None:
         """Attach a transport agent; wires up the NIC pull source."""
@@ -55,6 +56,12 @@ class Host(Node):
         if agent is None:
             raise RuntimeError(f"{self.name}: packet arrived but no agent installed")
         agent.on_packet(pkt)
+        # Delivery is a packet's end of life: nothing retains it past
+        # on_packet (hooks that do must declare retains_packets, which
+        # keeps pool disabled), so it can be recycled here.
+        pool = self.pool
+        if pool is not None:
+            pool.release(pkt)
 
     def send(self, pkt: Packet) -> None:
         """Push a packet into the NIC egress queue."""

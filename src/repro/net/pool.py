@@ -1,0 +1,143 @@
+"""Packet freelist.
+
+Simulations churn through one short-lived :class:`~repro.net.packet.Packet`
+object per wire packet.  The pool recycles them: a packet delivered to a
+host is reset and parked on a freelist, and the next send reuses it
+instead of allocating.  Packets are pure value objects here — nothing in
+the simulator keeps a reference past delivery (instrumentation hooks
+record scalars, not packets; a hook that *does* retain them must set
+``retains_packets = True``, which makes the runner disable pooling for
+that run) — so reuse is invisible to protocol logic and to run digests.
+
+Two safety properties hold by construction:
+
+* only packets that reach :meth:`repro.net.node.Host.receive` are ever
+  released — dropped packets simply fall out of scope and are never
+  recycled, so ``fabric.keep_dropped`` stays sound;
+* :meth:`release` resets every mutable field, so a reused packet is
+  indistinguishable from a fresh one.
+
+With ``enabled = False`` the acquire helpers degrade to plain
+construction, so call sites never branch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.packet import Flow, Packet, PacketType
+from repro.sim.units import CONTROL_BYTES
+
+__all__ = ["PacketPool"]
+
+
+class PacketPool:
+    """A bounded freelist of :class:`Packet` objects.
+
+    One pool per run, owned by the
+    :class:`~repro.sim.context.SimContext`.  The object is created with
+    the context and never replaced — agents may cache the reference —
+    only ``enabled`` is flipped by the runner.
+    """
+
+    __slots__ = ("enabled", "max_free", "allocated", "reused", "released", "_free")
+
+    def __init__(self, enabled: bool = False, max_free: int = 4096) -> None:
+        self.enabled = enabled
+        self.max_free = max_free
+        self.allocated = 0  # fresh Packet constructions
+        self.reused = 0     # acquisitions served from the freelist
+        self.released = 0   # packets parked for reuse
+        self._free: List[Packet] = []
+
+    # ------------------------------------------------------------------
+    def data(
+        self,
+        flow: Flow,
+        seq: int,
+        src: int,
+        dst: int,
+        size: int,
+        priority: int,
+        born: float,
+    ) -> Packet:
+        """Acquire a DATA packet (fresh or recycled)."""
+        free = self._free
+        if free:
+            pkt = free.pop()
+            self.reused += 1
+            pkt.ptype = PacketType.DATA
+            pkt.flow = flow
+            pkt.seq = seq
+            pkt.src = src
+            pkt.dst = dst
+            pkt.size = size
+            pkt.priority = priority
+            pkt.born = born
+            return pkt
+        self.allocated += 1
+        return Packet(PacketType.DATA, flow, seq, src, dst, size, priority=priority, born=born)
+
+    def control(
+        self,
+        ptype: PacketType,
+        flow: Optional[Flow],
+        seq: int,
+        src: int,
+        dst: int,
+        born: float,
+    ) -> Packet:
+        """Acquire a 40-byte highest-priority control packet."""
+        free = self._free
+        if free:
+            pkt = free.pop()
+            self.reused += 1
+            pkt.ptype = ptype
+            pkt.flow = flow
+            pkt.seq = seq
+            pkt.src = src
+            pkt.dst = dst
+            pkt.size = CONTROL_BYTES
+            pkt.priority = 0
+            pkt.born = born
+            return pkt
+        self.allocated += 1
+        return Packet(ptype, flow, seq, src, dst, CONTROL_BYTES, priority=0, born=born)
+
+    # ------------------------------------------------------------------
+    def release(self, pkt: Packet) -> None:
+        """Park a delivered packet for reuse (no-op while disabled).
+
+        Every mutable field is reset here rather than on acquire, so the
+        freelist holds packets indistinguishable from fresh ones and the
+        acquire helpers only write the fields they are given.
+        """
+        if not self.enabled:
+            return
+        free = self._free
+        if len(free) >= self.max_free:
+            return
+        pkt.flow = None
+        pkt.payload = None
+        pkt.remaining = 0
+        pkt.data_prio = 0
+        pkt.expiry = 0.0
+        pkt.hops = 0
+        free.append(pkt)
+        self.released += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+            "free": len(self._free),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PacketPool(enabled={self.enabled}, alloc={self.allocated}, "
+            f"reused={self.reused}, free={len(self._free)})"
+        )

@@ -26,6 +26,10 @@ from repro.net.packet import Packet
 
 __all__ = ["PriorityQueue", "PFabricQueue", "QueueFullError"]
 
+#: Shared "nothing dropped" return — saves one list allocation per push
+#: on the hot path.  Callers treat push() results as read-only.
+_NO_DROP: List[Packet] = []
+
 
 class QueueFullError(RuntimeError):
     """Raised only by strict APIs in tests; data-path drops are returns."""
@@ -39,7 +43,14 @@ class PriorityQueue:
     serialize or None.
     """
 
-    __slots__ = ("capacity_bytes", "bands", "bytes_queued", "_n_bands")
+    __slots__ = (
+        "capacity_bytes",
+        "bands",
+        "bytes_queued",
+        "pkts_queued",
+        "_n_bands",
+        "_lo",
+    )
 
     def __init__(self, capacity_bytes: int, n_bands: int = 8) -> None:
         if n_bands < 1:
@@ -48,13 +59,22 @@ class PriorityQueue:
         self._n_bands = n_bands
         self.bands: List[Deque[Packet]] = [deque() for _ in range(n_bands)]
         self.bytes_queued = 0
+        # Maintained packet count: ports read queue occupancy on every
+        # send for the high-water marks, so len() must not be O(bands).
+        self.pkts_queued = 0
+        # Lowest band that may be non-empty (pop scans from here instead
+        # of from band 0 every time).
+        self._lo = 0
 
     @property
     def n_bands(self) -> int:
         return self._n_bands
 
     def push(self, pkt: Packet) -> List[Packet]:
-        """Enqueue; returns dropped packets (drop-tail: incoming only)."""
+        """Enqueue; returns dropped packets (drop-tail: incoming only).
+
+        The returned list is owned by the queue when empty — read-only.
+        """
         if self.bytes_queued + pkt.size > self.capacity_bytes:
             return [pkt]
         band = pkt.priority
@@ -63,16 +83,24 @@ class PriorityQueue:
         elif band >= self._n_bands:
             band = self._n_bands - 1
         self.bands[band].append(pkt)
+        if band < self._lo:
+            self._lo = band
         self.bytes_queued += pkt.size
-        return []
+        self.pkts_queued += 1
+        return _NO_DROP
 
     def pop(self) -> Optional[Packet]:
-        for band in self.bands:
-            if band:
-                pkt = band.popleft()
-                self.bytes_queued -= pkt.size
-                return pkt
-        return None
+        if not self.pkts_queued:
+            return None
+        bands = self.bands
+        i = self._lo
+        while not bands[i]:
+            i += 1
+        self._lo = i
+        pkt = bands[i].popleft()
+        self.bytes_queued -= pkt.size
+        self.pkts_queued -= 1
+        return pkt
 
     def peek(self) -> Optional[Packet]:
         for band in self.bands:
@@ -81,10 +109,10 @@ class PriorityQueue:
         return None
 
     def __len__(self) -> int:
-        return sum(len(band) for band in self.bands)
+        return self.pkts_queued
 
     def __bool__(self) -> bool:
-        return any(self.bands)
+        return self.pkts_queued > 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -107,7 +135,14 @@ class PFabricQueue:
     different, older packet stamped with a larger remaining value).
     """
 
-    __slots__ = ("capacity_bytes", "pkts", "bytes_queued", "_arrival_seq", "_stamps")
+    __slots__ = (
+        "capacity_bytes",
+        "pkts",
+        "bytes_queued",
+        "pkts_queued",
+        "_arrival_seq",
+        "_stamps",
+    )
 
     def __init__(self, capacity_bytes: int, n_bands: int = 8) -> None:
         # n_bands accepted (and ignored) so both queue types share a factory
@@ -115,21 +150,29 @@ class PFabricQueue:
         self.capacity_bytes = capacity_bytes
         self.pkts: List[Packet] = []
         self.bytes_queued = 0
+        self.pkts_queued = 0  # == len(pkts); attribute so ports read it O(1)
         self._arrival_seq = 0
         self._stamps: List[int] = []  # arrival order, parallel to pkts
 
     def push(self, pkt: Packet) -> List[Packet]:
-        """Enqueue with priority-aware eviction; returns dropped packets."""
-        dropped: List[Packet] = []
+        """Enqueue with priority-aware eviction; returns dropped packets.
+
+        The returned list is owned by the queue when empty — read-only.
+        """
         self._arrival_seq += 1
         self.pkts.append(pkt)
         self._stamps.append(self._arrival_seq)
         self.bytes_queued += pkt.size
+        self.pkts_queued += 1
+        if self.bytes_queued <= self.capacity_bytes:
+            return _NO_DROP
+        dropped: List[Packet] = []
         while self.bytes_queued > self.capacity_bytes and self.pkts:
             victim_idx = self._worst_index()
             victim = self.pkts.pop(victim_idx)
             self._stamps.pop(victim_idx)
             self.bytes_queued -= victim.size
+            self.pkts_queued -= 1
             dropped.append(victim)
         return dropped
 
@@ -169,6 +212,7 @@ class PFabricQueue:
         pkt = pkts.pop(chosen)
         self._stamps.pop(chosen)
         self.bytes_queued -= pkt.size
+        self.pkts_queued -= 1
         return pkt
 
     def peek(self) -> Optional[Packet]:

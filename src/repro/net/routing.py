@@ -7,11 +7,16 @@ the core (§2.3).  We also provide per-flow ECMP as an ablation, since
 the paper cites both options as commodity features.
 
 These functions build routing closures for :class:`repro.net.switch.Switch`.
+Per-destination decisions are precomputed into dense tables (the host-id
+space is contiguous) so the per-packet work is one list index plus — for
+sprayed inter-rack traffic — exactly the same single ``randrange`` draw
+the uncached closure made, keeping sprayed runs bit-reproducible across
+the cached and fallback paths.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.net.packet import Packet
 from repro.net.port import Port
@@ -30,24 +35,61 @@ def make_tor_route(
     rack_id: int,
     rng: SeededRng,
     mode: str = SPRAY,
+    n_hosts: Optional[int] = None,
 ) -> Callable[[Packet], Port]:
     """Routing closure for a top-of-rack switch.
 
     Local destinations go straight down; remote ones go up via spraying
     (uniform per-packet) or ECMP (hash of flow id, per-flow stable).
+
+    With ``n_hosts`` the per-destination down-port lookup is a dense
+    list indexed by host id (``None`` marks a remote destination — the
+    spray candidates are the full ``up_ports`` list for every remote
+    host, per §2.3's uniform spraying).  Without it the same table is
+    built lazily, keyed by destination.
     """
     n_up = len(up_ports)
     if mode not in (SPRAY, ECMP):
         raise ValueError(f"unknown load-balancing mode: {mode}")
+    up0 = up_ports[0] if n_up else None
+    spray = mode == SPRAY
+    # Identical draw stream to rng.randrange(n) for n > 0, minus two
+    # wrapper frames per sprayed packet.
+    randrange = rng.randbelow
+
+    if n_hosts is not None:
+        # Dense precomputed table: down_ports holds exactly this rack's
+        # hosts, so membership doubles as the locality test.
+        local: List[Optional[Port]] = [down_ports.get(d) for d in range(n_hosts)]
+
+        def route(pkt: Packet) -> Port:
+            port = local[pkt.dst]
+            if port is not None:
+                return port
+            if n_up == 1:
+                return up0
+            if spray:
+                return up_ports[randrange(n_up)]
+            fid = pkt.flow.fid if pkt.flow is not None else pkt.seq
+            return up_ports[hash(fid) % n_up]
+
+        return route
+
+    lazy: Dict[int, Optional[Port]] = {}
+    _miss = object()
 
     def route(pkt: Packet) -> Port:
         dst = pkt.dst
-        if rack_of(dst) == rack_id:
-            return down_ports[dst]
+        port = lazy.get(dst, _miss)
+        if port is _miss:
+            port = down_ports[dst] if rack_of(dst) == rack_id else None
+            lazy[dst] = port
+        if port is not None:
+            return port
         if n_up == 1:
-            return up_ports[0]
-        if mode == SPRAY:
-            return up_ports[rng.randrange(n_up)]
+            return up0
+        if spray:
+            return up_ports[randrange(n_up)]
         fid = pkt.flow.fid if pkt.flow is not None else pkt.seq
         return up_ports[hash(fid) % n_up]
 
@@ -57,8 +99,20 @@ def make_tor_route(
 def make_core_route(
     rack_ports: List[Port],
     rack_of: Callable[[int], int],
+    n_hosts: Optional[int] = None,
 ) -> Callable[[Packet], Port]:
-    """Routing closure for a core switch: one port per rack, downhill only."""
+    """Routing closure for a core switch: one port per rack, downhill only.
+
+    With ``n_hosts`` the rack lookup is flattened into one dense
+    host-id -> port table (a single list index per packet)."""
+
+    if n_hosts is not None:
+        table: List[Port] = [rack_ports[rack_of(d)] for d in range(n_hosts)]
+
+        def route(pkt: Packet) -> Port:
+            return table[pkt.dst]
+
+        return route
 
     def route(pkt: Packet) -> Port:
         return rack_ports[rack_of(pkt.dst)]

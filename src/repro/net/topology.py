@@ -194,6 +194,7 @@ class Fabric:
                 rid,
                 self.rng.stream(f"tor{rid}"),
                 mode=cfg.load_balancing,
+                n_hosts=cfg.n_hosts,
             )
             self.tors.append(tor)
 
@@ -213,7 +214,7 @@ class Fabric:
                 port.connect(self.tors[rid])
                 core.add_port(port)
                 rack_ports.append(port)
-            core.route = make_core_route(rack_ports, rack_of)
+            core.route = make_core_route(rack_ports, rack_of, n_hosts=cfg.n_hosts)
 
     # ------------------------------------------------------------------
     def _record_drop(self, pkt: Packet, hop_index: int) -> None:

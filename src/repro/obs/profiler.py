@@ -34,7 +34,7 @@ __all__ = ["EventLoopProfiler", "Heartbeat"]
 _HEARTBEAT_CHECK_EVERY = 256
 
 # Cell indices for the per-type stats list.
-_COUNT, _SELF, _MAX, _FIRST, _LAST = range(5)
+_COUNT, _SELF, _MAX, _FIRST, _LAST, _WHEEL = range(6)
 
 
 class Heartbeat:
@@ -93,12 +93,16 @@ class EventLoopProfiler:
         self._cells: Dict[str, List[float]] = {}
         self._sim_hists: Dict[str, Histogram] = {}
         self.total_events = 0
+        #: Dispatches whose entry travelled through the timing wheel
+        #: (recovery/pacing timers) rather than straight onto the heap.
+        self.timer_wheel_events = 0
         self.wall_self_seconds = 0.0
         self.heartbeats_emitted = 0
         self._hb_interval = heartbeat_wall_seconds
         self._on_heartbeat = on_heartbeat or _print_heartbeat
         self._clock = clock
         self._until: Optional[float] = None
+        self._env = None  # loop we are installed in (wheel stats source)
         self._hb_wall = clock()
         self._hb_events = 0
         self._hb_sim = 0.0
@@ -114,17 +118,21 @@ class EventLoopProfiler:
     def run_started(self, env, until: Optional[float]) -> None:
         """Called by the loop at the top of each profiled ``run()``."""
         self._until = until
+        self._env = env
         self._hb_wall = self._clock()
         self._hb_events = self.total_events
         self._hb_sim = env.now
 
-    def on_event(self, fn, when: float, wall_dt: float) -> None:
+    def on_event(
+        self, fn, when: float, wall_dt: float, via_wheel: bool = False
+    ) -> None:
         """One dispatched callback: ``fn`` fired at sim time ``when``
-        and took ``wall_dt`` wall-clock seconds."""
+        and took ``wall_dt`` wall-clock seconds.  ``via_wheel`` marks
+        dispatches whose entry was parked in the timing wheel first."""
         key = getattr(fn, "__qualname__", None) or repr(fn)
         cell = self._cells.get(key)
         if cell is None:
-            cell = [0, 0.0, 0.0, when, when]
+            cell = [0, 0.0, 0.0, when, when, 0]
             self._cells[key] = cell
             self._sim_hists[key] = Histogram("profile.sim_time", {"event": key})
         cell[_COUNT] += 1
@@ -132,6 +140,9 @@ class EventLoopProfiler:
         if wall_dt > cell[_MAX]:
             cell[_MAX] = wall_dt
         cell[_LAST] = when
+        if via_wheel:
+            cell[_WHEEL] += 1
+            self.timer_wheel_events += 1
         self._sim_hists[key].observe(when)
         self.total_events += 1
         self.wall_self_seconds += wall_dt
@@ -179,7 +190,25 @@ class EventLoopProfiler:
                 "max_seconds": cell[_MAX],
                 "first_sim_time": cell[_FIRST],
                 "last_sim_time": cell[_LAST],
+                "wheel_count": int(cell[_WHEEL]),
             }
+        return out
+
+    def timer_wheel(self) -> Dict[str, object]:
+        """Timer-wheel event-class breakdown.
+
+        Combines the loop-side lifetime counters (scheduled / cancelled
+        / poured / parked, plus the ``timers_to_heap`` fallback count
+        for timers due too soon or too far out for the wheel) with the
+        number of profiled dispatches that actually travelled through
+        the wheel.
+        """
+        out: Dict[str, object] = {"events_dispatched": self.timer_wheel_events}
+        env = self._env
+        if env is not None:
+            out.update(env.wheel.stats())
+            out["timers_to_heap"] = env.timers_to_heap
+            out["enabled"] = env.timer_wheel_enabled
         return out
 
     def sim_time_histogram(self, event_type: str) -> Optional[Histogram]:
@@ -193,9 +222,15 @@ class EventLoopProfiler:
 
     def report(self, top: int = 20) -> str:
         """Plain-text table of the hottest event types."""
+        wheel = self.timer_wheel()
         lines = [
             f"event-loop profile: {self.total_events} events, "
             f"{self.wall_self_seconds * 1e3:.1f} ms handler self-time",
+            f"timer wheel: {wheel['events_dispatched']} dispatches via wheel, "
+            f"{wheel.get('scheduled', 0)} parked / "
+            f"{wheel.get('cancelled', 0)} cancelled / "
+            f"{wheel.get('poured', 0)} poured, "
+            f"{wheel.get('timers_to_heap', 0)} straight to heap",
             f"{'event type':44s} {'count':>10s} {'self ms':>9s} "
             f"{'mean us':>9s} {'max us':>8s}",
         ]
@@ -213,6 +248,7 @@ class EventLoopProfiler:
             "total_events": self.total_events,
             "wall_self_seconds": self.wall_self_seconds,
             "heartbeats": self.heartbeats_emitted,
+            "timer_wheel": self.timer_wheel(),
             "by_type": self.by_type(),
         }
 

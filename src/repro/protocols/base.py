@@ -59,6 +59,8 @@ class TransportAgent:
         self.collector = ctx.collector
         self.config = ctx.config
         self.shared = ctx.shared
+        # The run's packet freelist (stable object; only .enabled flips).
+        self.pool = ctx.pool
 
     # -- source side ----------------------------------------------------
     def start_flow(self, flow: Flow) -> None:  # pragma: no cover - abstract

@@ -131,15 +131,8 @@ class FastpassAgent(TransportAgent):
             return
         flow = state.flow
         now = self.env.now
-        pkt = Packet(
-            PacketType.DATA,
-            flow,
-            seq,
-            flow.src,
-            flow.dst,
-            flow.wire_bytes_of(seq),
-            priority=DATA_PRIO,
-            born=now,
+        pkt = self.pool.data(
+            flow, seq, flow.src, flow.dst, flow.wire_bytes_of(seq), DATA_PRIO, now
         )
         first_time = seq not in state.ever_sent
         state.ever_sent.add(seq)
@@ -150,7 +143,7 @@ class FastpassAgent(TransportAgent):
         self.collector.data_sent(pkt, first_time)
         self.host.send(pkt)
         if state.recheck_timer is None:
-            state.recheck_timer = self.env.schedule(self.config.rto, self._recheck, fid)
+            state.recheck_timer = self.env.schedule_timer(self.config.rto, self._recheck, fid)
 
     def _recheck(self, fid: int) -> None:
         """Loss recovery: re-request slots for still-unACKed packets."""
@@ -168,7 +161,7 @@ class FastpassAgent(TransportAgent):
             state.unacked_sent.clear()
             if lost:
                 self._send_request(state.flow, len(lost))
-        state.recheck_timer = self.env.schedule(self.config.rto, self._recheck, fid)
+        state.recheck_timer = self.env.schedule_timer(self.config.rto, self._recheck, fid)
 
     def _on_ack(self, pkt: Packet) -> None:
         state = self.src_flows.get(pkt.flow.fid)
@@ -212,7 +205,7 @@ class FastpassAgent(TransportAgent):
         self._send_ack(flow, pkt.seq)
 
     def _send_ack(self, flow: Flow, seq: int) -> None:
-        ack = control_packet(PacketType.ACK, flow, seq, self.host.node_id, flow.src, self.env.now)
+        ack = self.pool.control(PacketType.ACK, flow, seq, self.host.node_id, flow.src, self.env.now)
         self.collector.control_sent(ack)
         self.host.send(ack)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Set
 
-from repro.net.packet import Flow, Packet, PacketType, control_packet
+from repro.net.packet import Flow, Packet, PacketType
 from repro.protocols.base import ProtocolSpec, TransportAgent, pfabric_queue_factory
 from repro.protocols.pfabric.config import PFabricConfig
 from repro.sim.engine import EventLoop
@@ -149,15 +149,8 @@ class PFabricAgent(TransportAgent):
     def _send_data(self, state: _SrcFlow, seq: int) -> None:
         flow = state.flow
         now = self.env.now
-        pkt = Packet(
-            PacketType.DATA,
-            flow,
-            seq,
-            flow.src,
-            flow.dst,
-            flow.wire_bytes_of(seq),
-            priority=1,
-            born=now,
+        pkt = self.pool.data(
+            flow, seq, flow.src, flow.dst, flow.wire_bytes_of(seq), 1, now
         )
         pkt.remaining = state.remaining()
         first_time = seq not in state.ever_sent
@@ -171,7 +164,7 @@ class PFabricAgent(TransportAgent):
 
     def _arm_rto(self, state: _SrcFlow) -> None:
         EventLoop.cancel(state.rto_timer)
-        state.rto_timer = self.env.schedule(
+        state.rto_timer = self.env.schedule_timer(
             self.config.rto * state.rto_scale, self._on_rto, state.flow.fid
         )
 
@@ -204,15 +197,8 @@ class PFabricAgent(TransportAgent):
 
     def _send_probe(self, state: _SrcFlow) -> None:
         flow = state.flow
-        probe = Packet(
-            PacketType.DATA,
-            flow,
-            PROBE_SEQ,
-            flow.src,
-            flow.dst,
-            40,  # header-only
-            priority=1,
-            born=self.env.now,
+        probe = self.pool.data(
+            flow, PROBE_SEQ, flow.src, flow.dst, 40, 1, self.env.now  # header-only
         )
         probe.remaining = state.remaining()
         state.probes_sent += 1
@@ -284,7 +270,7 @@ class PFabricAgent(TransportAgent):
         self._send_ack(flow, pkt.seq)
 
     def _send_ack(self, flow: Flow, seq: int) -> None:
-        ack = control_packet(PacketType.ACK, flow, seq, self.host.node_id, flow.src, self.env.now)
+        ack = self.pool.control(PacketType.ACK, flow, seq, self.host.node_id, flow.src, self.env.now)
         ack.remaining = 0  # top priority in pFabric queues
         self.collector.control_sent(ack)
         self.host.send(ack)

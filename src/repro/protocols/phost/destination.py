@@ -22,7 +22,7 @@ from typing import Deque, Dict, Optional, Set
 
 from repro.protocols.phost.config import PHostConfig
 from repro.protocols.phost.policies import SchedulingPolicy, TenantCounters
-from repro.net.packet import Flow, Packet, PacketType, control_packet
+from repro.net.packet import Flow, Packet, PacketType
 from repro.sim.engine import EventLoop
 
 __all__ = ["PHostDestination", "DestFlowState"]
@@ -138,6 +138,7 @@ class PHostDestination:
     def __init__(self, agent, config: PHostConfig, grant_policy: SchedulingPolicy) -> None:
         self.agent = agent
         self.env: EventLoop = agent.env
+        self.pool = agent.pool
         self.config = config
         self.policy = grant_policy
         self.states: Dict[int, DestFlowState] = {}
@@ -209,7 +210,7 @@ class PHostDestination:
         self._send_ack(state.flow)
 
     def _send_ack(self, flow: Flow) -> None:
-        ack = control_packet(
+        ack = self.pool.control(
             PacketType.ACK, flow, flow.n_pkts, self.agent.host.node_id, flow.src, self.env.now
         )
         self.agent.send_control(ack)
@@ -218,10 +219,19 @@ class PHostDestination:
     # Token pacing (Algorithm 2, "idle": pick a flow, send a token)
     # ------------------------------------------------------------------
     def _maybe_start_timer(self) -> None:
-        if self._timer is not None and EventLoop.is_pending(self._timer):
+        timer = self._timer
+        if timer is not None and timer[2] is not None:  # inline is_pending
             return
         now = self.env.now
-        if not any(s.eligible(now) for s in self.states.values()):
+        # Inline of DestFlowState.eligible() over the (usually tiny)
+        # state dict — this runs on every data arrival, so the method
+        # call and generator frame are worth shaving.
+        for s in self.states.values():
+            if not s.complete and now >= s.downgrade_until and (
+                s.regrant or s.next_new < s.flow.n_pkts
+            ):
+                break
+        else:
             return
         when = max(now, self._next_grant_time)
         self._timer = self.env.schedule_at(when, self._grant_tick)
@@ -231,7 +241,10 @@ class PHostDestination:
         now = self.env.now
         candidates = [s for s in self.states.values() if s.eligible(now)]
         while candidates:
-            state = self.policy.select(candidates, self.tenant_received)
+            if len(candidates) == 1:  # overwhelmingly the common case
+                state = candidates[0]
+            else:
+                state = self.policy.select(candidates, self.tenant_received)
             if (
                 state.outstanding >= self.config.downgrade_threshold
                 and now - state.last_progress >= self.config.downgrade_stale
@@ -250,7 +263,7 @@ class PHostDestination:
     def _grant(self, state: DestFlowState, seq: int) -> None:
         now = self.env.now
         flow = state.flow
-        token = control_packet(
+        token = self.pool.control(
             PacketType.TOKEN, flow, seq, self.agent.host.node_id, flow.src, now
         )
         token.data_prio = self.agent.data_priority(flow)
@@ -270,7 +283,7 @@ class PHostDestination:
         state.downgrade_until = now + self.config.downgrade_time
         state.outstanding = 0
         state.downgrades += 1
-        self.env.schedule(self.config.downgrade_time, self._downgrade_expired, state.flow.fid)
+        self.env.schedule_timer(self.config.downgrade_time, self._downgrade_expired, state.flow.fid)
 
     def _downgrade_expired(self, fid: int) -> None:
         state = self.states.get(fid)
@@ -288,7 +301,7 @@ class PHostDestination:
         if state.reissue_armed or state.complete:
             return
         state.reissue_armed = True
-        self.env.schedule(self.config.retx_timeout, self._reissue_check, state.flow.fid)
+        self.env.schedule_timer(self.config.retx_timeout, self._reissue_check, state.flow.fid)
 
     def _reissue_check(self, fid: int) -> None:
         state = self.states.get(fid)
@@ -309,7 +322,7 @@ class PHostDestination:
             wait = self.config.retx_timeout
         else:
             wait = self.config.retx_timeout - idle_for
-        self.env.schedule(wait, self._reissue_check, fid)
+        self.env.schedule_timer(wait, self._reissue_check, fid)
 
     def _stale(self, state: DestFlowState) -> bool:
         return (self.env.now - state.last_progress) >= self.config.retx_timeout

@@ -23,7 +23,7 @@ from typing import Dict, Optional
 from repro.protocols.phost.config import PHostConfig
 from repro.protocols.phost.policies import SchedulingPolicy, TenantCounters
 from repro.protocols.phost.tokens import SourceFlowState, Token
-from repro.net.packet import Flow, Packet, PacketType, control_packet
+from repro.net.packet import Flow, Packet, PacketType
 
 __all__ = ["PHostSource"]
 
@@ -34,6 +34,7 @@ class PHostSource:
     def __init__(self, agent, config: PHostConfig, spend_policy: SchedulingPolicy) -> None:
         self.agent = agent
         self.env = agent.env
+        self.pool = agent.pool
         self.config = config
         self.policy = spend_policy
         self.flows: Dict[int, SourceFlowState] = {}
@@ -59,13 +60,13 @@ class PHostSource:
         if not state.has_free_token():
             # No free budget (e.g. tenant-fair config): rely on grants;
             # arm the lost-RTS recovery timer.
-            self.env.schedule(self.config.rts_retry, self._rts_check, flow.fid)
+            self.env.schedule_timer(self.config.rts_retry, self._rts_check, flow.fid)
         self.agent.kick_nic()
 
     def _send_rts(self, state: SourceFlowState) -> None:
         flow = state.flow
         state.rts_sends += 1
-        rts = control_packet(PacketType.RTS, flow, 0, flow.src, flow.dst, self.env.now)
+        rts = self.pool.control(PacketType.RTS, flow, 0, flow.src, flow.dst, self.env.now)
         self.agent.send_control(rts)
 
     def _rts_check(self, fid: int) -> None:
@@ -74,7 +75,7 @@ class PHostSource:
             return
         if not state.got_token and not state.has_free_token():
             self._send_rts(state)
-            self.env.schedule(self.config.rts_retry, self._rts_check, fid)
+            self.env.schedule_timer(self.config.rts_retry, self._rts_check, fid)
 
     # ------------------------------------------------------------------
     # Token receipt (Algorithm 1, "new token T received")
@@ -107,16 +108,17 @@ class PHostSource:
         now = self.env.now
         candidates = []
         for state in self.flows.values():
-            before = len(state.tokens)
-            state.prune_expired(now)
-            self.tokens_expired += before - len(state.tokens)
+            self.tokens_expired += state.prune_expired(now)
             if state.tokens or state.has_free_token():
                 candidates.append(state)
         if not candidates:
             return None
         # Algorithm 1: free tokens live in the same ActiveTokens list as
         # granted ones; the spend policy picks across all of them.
-        state = self.policy.select(candidates, self.tenant_sent)
+        if len(candidates) == 1:  # overwhelmingly the common case
+            state = candidates[0]
+        else:
+            state = self.policy.select(candidates, self.tenant_sent)
         if state.tokens:
             token = state.pop_token()
             return self._make_data(state, token.seq, token.priority)
@@ -126,15 +128,8 @@ class PHostSource:
     def _make_data(self, state: SourceFlowState, seq: int, priority: int) -> Packet:
         now = self.env.now
         flow = state.flow
-        pkt = Packet(
-            PacketType.DATA,
-            flow,
-            seq,
-            flow.src,
-            flow.dst,
-            flow.wire_bytes_of(seq),
-            priority=priority,
-            born=now,
+        pkt = self.pool.data(
+            flow, seq, flow.src, flow.dst, flow.wire_bytes_of(seq), priority, now
         )
         first_time = seq not in state.sent
         state.sent.add(seq)
@@ -144,7 +139,7 @@ class PHostSource:
         self.agent.collector.data_sent(pkt, first_time)
         if state.all_sent() and not state.ack_check_scheduled:
             state.ack_check_scheduled = True
-            self.env.schedule(2 * self.config.retx_timeout, self._ack_check, flow.fid)
+            self.env.schedule_timer(2 * self.config.retx_timeout, self._ack_check, flow.fid)
         return pkt
 
     def _ack_check(self, fid: int) -> None:
@@ -154,7 +149,7 @@ class PHostSource:
         # All packets went out at least once but no ACK: poke the
         # destination (it will re-ACK or re-grant missing packets).
         self._send_rts(state)
-        self.env.schedule(2 * self.config.retx_timeout, self._ack_check, fid)
+        self.env.schedule_timer(2 * self.config.retx_timeout, self._ack_check, fid)
 
     # ------------------------------------------------------------------
     @property

@@ -9,7 +9,8 @@ free-token budget and what has been sent.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from collections import deque
+from typing import Deque, Optional, Set
 
 from repro.net.packet import Flow
 
@@ -53,7 +54,12 @@ class SourceFlowState:
 
     def __init__(self, flow: Flow, free_tokens: int) -> None:
         self.flow = flow
-        self.tokens: List[Token] = []  # receipt order == spend order
+        # Receipt order == spend order == expiry order: tokens are
+        # stamped now + token_expiry (a per-run constant) as they
+        # arrive, so expiries are non-decreasing and pruning is a pure
+        # head operation — which is why this is a deque, giving O(1)
+        # spend and O(expired) pruning on the NIC-pull hot path.
+        self.tokens: Deque[Token] = deque()
         self.free_left = min(free_tokens, flow.n_pkts)
         self.next_free_seq = 0
         self.sent: Set[int] = set()
@@ -74,13 +80,17 @@ class SourceFlowState:
         self.tokens_received += 1
 
     def prune_expired(self, now: float) -> int:
-        """Drop lapsed tokens; returns how many were discarded."""
-        if not self.tokens:
-            return 0
-        live = [t for t in self.tokens if t.expiry >= now]
-        dropped = len(self.tokens) - len(live)
+        """Drop lapsed tokens; returns how many were discarded.
+
+        Tokens arrive in expiry order (see ``tokens`` above), so lapsed
+        ones form a prefix and pruning pops from the head only.
+        """
+        tokens = self.tokens
+        dropped = 0
+        while tokens and tokens[0].expiry < now:
+            tokens.popleft()
+            dropped += 1
         if dropped:
-            self.tokens = live
             self.tokens_expired_n += dropped
         return dropped
 
@@ -91,7 +101,7 @@ class SourceFlowState:
     def pop_token(self) -> Token:
         """Spend the oldest live token (FIFO among a flow's tokens)."""
         self.tokens_spent += 1
-        return self.tokens.pop(0)
+        return self.tokens.popleft()
 
     def has_free_token(self) -> bool:
         # Skip entitlements for packets already sent via re-granted

@@ -52,6 +52,8 @@ class SimContext:
         "shared",
         "hooks",
         "obs",
+        "tuning",
+        "pool",
     )
 
     def __init__(
@@ -63,11 +65,22 @@ class SimContext:
         config: Any = None,
         shared: Any = None,
         hooks: Optional[List[Any]] = None,
+        tuning: Any = None,
     ) -> None:
         self.env = env
         self.rng = rng
         self.fabric = fabric
         self.collector = collector
+        #: Hot-path switches for this run (see :mod:`repro.sim.tuning`).
+        from repro.sim.tuning import SimTuning
+
+        self.tuning = tuning if tuning is not None else SimTuning()
+        #: The run's packet freelist.  Created with the context and never
+        #: replaced (agents cache the reference); the runner flips
+        #: ``pool.enabled`` per the tuning and the attached hooks.
+        from repro.net.pool import PacketPool
+
+        self.pool = PacketPool(enabled=self.tuning.packet_pool)
         #: Resolved protocol configuration (e.g. a ``PHostConfig`` with
         #: absolute times computed for this topology).
         self.config = config

@@ -1,15 +1,28 @@
 """Event loop for the packet-level simulator.
 
 The loop is deliberately minimal and fast: events are stored in a binary
-heap as small lists ``[time, seq, callback, args, loop]``.  Cancellation
+heap as small lists ``[time, seq, callback, args, owner]``.  Cancellation
 is O(1) — the callback slot is nulled out and the entry is skipped when
 it reaches the top of the heap.  The live-event count is maintained
 incrementally, so :meth:`EventLoop.pending_count` is O(1), and the heap
-is compacted in place once cancelled entries outnumber live ones (long
-pHost runs cancel a timer per token, which would otherwise leave the
-heap dominated by dead entries).  The monotone ``seq`` counter makes
-event ordering deterministic for equal timestamps (FIFO among ties),
-which in turn makes whole simulations reproducible for a fixed seed.
+is compacted in place once cancelled entries outnumber live ones.  The
+monotone ``seq`` counter makes event ordering deterministic for equal
+timestamps (FIFO among ties), which in turn makes whole simulations
+reproducible for a fixed seed.
+
+High-volume cancellable *timers* (pHost token-expiry recovery checks,
+pFabric retransmission timeouts) go through :meth:`schedule_timer`,
+which parks them in a hierarchical :class:`repro.sim.wheel.TimerWheel`
+instead of the heap: O(1) schedule and cancel, corpses swept in place,
+no compaction churn.  The wheel pours due timers back into the heap
+carrying the sequence number they drew at schedule time, so the global
+``(time, seq)`` dispatch order — and therefore every run digest — is
+byte-identical to a pure-heap run.  ``timer_wheel_enabled = False`` is
+the escape hatch that routes timers straight to the heap.
+
+The loop also exposes :meth:`try_advance` — the seam that lets a busy
+:class:`repro.net.port.Port` chain back-to-back departures inline
+without a scheduler round-trip, provided nothing else fires first.
 
 Times are floats in **seconds**.  At datacenter scale (nanoseconds to
 milliseconds) float64 has far more resolution than we need.
@@ -21,15 +34,18 @@ import heapq
 from time import perf_counter
 from typing import Any, Callable, List, Optional
 
+from repro.sim.wheel import TimerWheel
+
 __all__ = ["EventLoop", "SimulationError"]
 
 # Indices inside an event entry.  The callback slot is nulled for
-# cancellation; the loop backref lets the static cancel() keep the
-# owning loop's live/cancelled counters exact.  The backref is never
+# cancellation; the owner backref (the loop, or the timer wheel while an
+# entry is parked there) lets the static cancel() keep the owning
+# container's live/cancelled counters exact.  The backref is never
 # compared: heap ordering is fully decided by (time, seq) since seq is
 # unique per loop.
 _FN = 2
-_LOOP = 4
+_OWNER = 4
 
 #: Compaction only kicks in past this many dead entries — below it the
 #: rebuild costs more than lazily popping the corpses.
@@ -57,12 +73,23 @@ class EventLoop:
         now: Current simulation time in seconds.  Monotonically
             non-decreasing while the loop runs.
         events_processed: Number of callbacks actually executed (skipped
-            cancelled entries are not counted).
+            cancelled entries are not counted; an inline port drain via
+            :meth:`try_advance` counts as the one event it replaced).
+        wheel: The hierarchical timer wheel backing
+            :meth:`schedule_timer`.
+        timer_wheel_enabled: When False, :meth:`schedule_timer` degrades
+            to plain heap scheduling (the pure-heap escape hatch).
+        drain_enabled: When False, :meth:`try_advance` always refuses,
+            forcing every port departure through the scheduler.
     """
 
     __slots__ = (
         "now",
         "events_processed",
+        "wheel",
+        "timer_wheel_enabled",
+        "drain_enabled",
+        "timers_to_heap",
         "_heap",
         "_seq",
         "_stopped",
@@ -70,18 +97,26 @@ class EventLoop:
         "_cancelled",
         "_clock_watcher",
         "_profiler",
+        "_until",
+        "_no_drain",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, timer_resolution: float = 1e-6) -> None:
         self.now: float = 0.0
         self.events_processed: int = 0
+        self.wheel = TimerWheel(self, timer_resolution)
+        self.timer_wheel_enabled: bool = True
+        self.drain_enabled: bool = True
+        self.timers_to_heap: int = 0  # schedule_timer calls the wheel declined
         self._heap: List[list] = []
         self._seq: int = 0
         self._stopped: bool = False
-        self._live: int = 0  # scheduled, not yet fired or cancelled
+        self._live: int = 0  # scheduled, not yet fired or cancelled (heap only)
         self._cancelled: int = 0  # cancelled entries still in the heap
         self._clock_watcher: Optional[Callable[[float, float], None]] = None
         self._profiler: Optional[Any] = None
+        self._until: Optional[float] = None  # active run() horizon
+        self._no_drain: bool = True  # try_advance only allowed inside run()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -107,21 +142,59 @@ class EventLoop:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self.now + delay, fn, *args)
 
+    def schedule_timer_at(
+        self, when: float, fn: Callable[..., Any], *args: Any
+    ) -> list:
+        """Schedule a *timer* at absolute time ``when``.
+
+        Semantically identical to :meth:`schedule_at` (same handle,
+        same :meth:`cancel`), but routed through the timing wheel when
+        possible: use it for high-volume timers that are usually
+        cancelled or re-armed before firing.  Timers due within one
+        wheel tick or beyond the wheel horizon fall back to the heap.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule timer in the past: {when} < now={self.now}"
+            )
+        if self.timer_wheel_enabled:
+            entry = self.wheel.schedule(when, fn, args)
+            if entry is not None:
+                return entry
+            self.timers_to_heap += 1
+        self._seq += 1
+        entry = [when, self._seq, fn, args, self]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return entry
+
+    def schedule_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> list:
+        """Schedule a timer ``delay`` seconds from now (see
+        :meth:`schedule_timer_at`)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_timer_at(self.now + delay, fn, *args)
+
     @staticmethod
     def cancel(entry: Optional[list]) -> None:
-        """Cancel a previously scheduled event.
+        """Cancel a previously scheduled event or timer.
 
         Safe to call with ``None`` or with an entry that already fired
-        (firing nulls the callback slot as well).
+        (firing nulls the callback slot as well).  Accounting is
+        dispatched to the entry's owner — the loop for heap entries, the
+        timer wheel for parked timers — so each container's
+        live/cancelled counters stay exact.
         """
         if entry is None or entry[_FN] is None:
             return
         entry[_FN] = None
-        loop: "EventLoop" = entry[_LOOP]
-        loop._live -= 1
-        loop._cancelled += 1
-        if loop._cancelled > _COMPACT_MIN and loop._cancelled * 2 > len(loop._heap):
-            loop._compact()
+        entry[_OWNER]._entry_cancelled(entry)
+
+    def _entry_cancelled(self, entry: list) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > _COMPACT_MIN and self._cancelled * 2 > len(self._heap):
+            self._compact()
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify, in place.
@@ -144,12 +217,20 @@ class EventLoop:
     # Execution
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or None if the heap is empty."""
+        """Time of the next live event, or None if nothing is pending."""
         heap = self._heap
-        while heap and heap[0][_FN] is None:
-            heapq.heappop(heap)
-            self._cancelled -= 1
-        return heap[0][0] if heap else None
+        wheel = self.wheel
+        while True:
+            while heap and heap[0][_FN] is None:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+            if wheel._live and (not heap or heap[0][0] >= wheel.next_hint):
+                if heap:
+                    wheel.advance(heap[0][0], heap)
+                else:
+                    wheel.advance_until_poured(heap)
+                continue
+            return heap[0][0] if heap else None
 
     def run(
         self,
@@ -165,44 +246,106 @@ class EventLoop:
             max_events: Safety valve; stop after this many callbacks.
 
         Returns:
-            Number of callbacks executed by this call.
+            Number of callbacks executed by this call (inline port
+            drains are not re-counted here; they are folded into
+            ``events_processed`` as they happen).
         """
         if self._profiler is not None:
             return self._run_profiled(until, max_events)
         heap = self._heap
+        wheel = self.wheel
         pop = heapq.heappop
         executed = 0
         self._stopped = False
-        while heap:
-            if self._stopped:
-                break
-            if max_events is not None and executed >= max_events:
-                break
-            entry = heap[0]
-            fn = entry[_FN]
-            if fn is None:  # cancelled — drop silently
+        self._until = until
+        # Inline draining is only sound mid-run (the drained event must
+        # be indistinguishable from a scheduled one) and never under
+        # max_events, which meters individual dispatches.
+        self._no_drain = (max_events is not None) or not self.drain_enabled
+        # Sentinels keep the per-event checks to one comparison each.
+        limit = until if until is not None else float("inf")
+        budget = -1 if max_events is None else max(max_events, 0)
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if executed == budget:
+                    break
+                if wheel._live and (not heap or heap[0][0] >= wheel.next_hint):
+                    # Due timers pour into the heap with their original
+                    # seq, landing exactly where a direct schedule would
+                    # have put them.
+                    if heap:
+                        wheel.advance(heap[0][0], heap)
+                    else:
+                        wheel.advance_until_poured(heap)
+                    continue
+                if not heap:
+                    if until is not None and until > self.now:
+                        self.now = until
+                    break
+                entry = heap[0]
+                fn = entry[_FN]
+                if fn is None:  # cancelled — drop silently
+                    pop(heap)
+                    self._cancelled -= 1
+                    continue
+                when = entry[0]
+                if when > limit:
+                    self.now = until
+                    break
                 pop(heap)
-                self._cancelled -= 1
-                continue
-            when = entry[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            pop(heap)
-            if when < self.now and self._clock_watcher is not None:
-                # Only reachable by smuggling an entry into the heap
-                # behind schedule_at()'s past-time guard.
-                self._clock_watcher(self.now, when)
-            self.now = when
-            entry[_FN] = None  # mark as fired (makes cancel-after-fire a no-op)
-            self._live -= 1
-            fn(*entry[3])
-            executed += 1
-        else:
-            if until is not None and until > self.now:
-                self.now = until
+                # Mark as fired *before* any observer can run: a cancel()
+                # issued from the clock watcher (or any re-entrant path)
+                # must see a dead entry, not double-count a corpse that
+                # is no longer in the heap.
+                entry[_FN] = None
+                self._live -= 1
+                if when < self.now and self._clock_watcher is not None:
+                    # Only reachable by smuggling an entry into the heap
+                    # behind schedule_at()'s past-time guard.
+                    self._clock_watcher(self.now, when)
+                self.now = when
+                fn(*entry[3])
+                executed += 1
+        finally:
+            self._no_drain = True
+            self._until = None
         self.events_processed += executed
         return executed
+
+    def try_advance(self, t: float) -> bool:
+        """Advance the clock to ``t`` iff no other event fires first.
+
+        The inline-drain seam for fused ports: when a busy port has its
+        next packet ready at serialization-done time ``t``, and nothing
+        else in the simulation is due at or before ``t``, the port may
+        skip scheduling the intermediate event and continue inline.  On
+        success the clock moves to ``t`` and ``events_processed`` is
+        credited with the one event the drain replaced, keeping the
+        counter identical with draining on or off.
+
+        Refuses (returns False) outside :meth:`run`, after :meth:`stop`,
+        past the run's ``until`` horizon, under a profiler (which meters
+        individual dispatches), or when any heap event or wheel timer is
+        due at or before ``t``.
+        """
+        if self._no_drain or self._stopped or t < self.now:
+            return False
+        until = self._until
+        if until is not None and t > until:
+            return False
+        heap = self._heap
+        while heap and heap[0][_FN] is None:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if self.wheel._live and self.wheel.next_hint <= t:
+            return False
+        if heap and heap[0][0] <= t:
+            return False
+        self.now = t
+        self.events_processed += 1
+        return True
 
     def _run_profiled(
         self,
@@ -213,43 +356,62 @@ class EventLoop:
 
         A separate copy so the unprofiled hot loop pays nothing for the
         profiler seam.  Kept line-for-line parallel with :meth:`run`;
-        the only additions are the ``perf_counter`` bracket around the
-        callback and the ``on_event`` report.
+        the only differences are the ``perf_counter`` bracket around the
+        callback, the ``on_event`` report, and inline draining staying
+        disabled (``_no_drain``) so every dispatch is individually
+        metered.
         """
         profiler = self._profiler
         profiler.run_started(self, until)
         heap = self._heap
+        wheel = self.wheel
         pop = heapq.heappop
         executed = 0
         self._stopped = False
-        while heap:
-            if self._stopped:
-                break
-            if max_events is not None and executed >= max_events:
-                break
-            entry = heap[0]
-            fn = entry[_FN]
-            if fn is None:  # cancelled — drop silently
+        self._until = until
+        limit = until if until is not None else float("inf")
+        budget = -1 if max_events is None else max(max_events, 0)
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if executed == budget:
+                    break
+                if wheel._live and (not heap or heap[0][0] >= wheel.next_hint):
+                    if heap:
+                        wheel.advance(heap[0][0], heap)
+                    else:
+                        wheel.advance_until_poured(heap)
+                    continue
+                if not heap:
+                    if until is not None and until > self.now:
+                        self.now = until
+                    break
+                entry = heap[0]
+                fn = entry[_FN]
+                if fn is None:  # cancelled — drop silently
+                    pop(heap)
+                    self._cancelled -= 1
+                    continue
+                when = entry[0]
+                if when > limit:
+                    self.now = until
+                    break
                 pop(heap)
-                self._cancelled -= 1
-                continue
-            when = entry[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            pop(heap)
-            if when < self.now and self._clock_watcher is not None:
-                self._clock_watcher(self.now, when)
-            self.now = when
-            entry[_FN] = None  # mark as fired (makes cancel-after-fire a no-op)
-            self._live -= 1
-            t0 = perf_counter()
-            fn(*entry[3])
-            profiler.on_event(fn, when, perf_counter() - t0)
-            executed += 1
-        else:
-            if until is not None and until > self.now:
-                self.now = until
+                entry[_FN] = None  # fired: see the ordering note in run()
+                self._live -= 1
+                if when < self.now and self._clock_watcher is not None:
+                    self._clock_watcher(self.now, when)
+                self.now = when
+                t0 = perf_counter()
+                fn(*entry[3])
+                # Six-cell entries came through the timing wheel (they
+                # carry a trailing tick); four-cell ones were scheduled
+                # straight onto the heap.
+                profiler.on_event(fn, when, perf_counter() - t0, len(entry) == 6)
+                executed += 1
+        finally:
+            self._until = None
         self.events_processed += executed
         return executed
 
@@ -257,7 +419,7 @@ class EventLoop:
         """Install (or remove, with ``None``) an event-loop profiler.
 
         The profiler must expose ``run_started(loop, until)`` and
-        ``on_event(fn, when, wall_dt)`` — see
+        ``on_event(fn, when, wall_dt, via_wheel)`` — see
         :class:`repro.obs.EventLoopProfiler`.  While one is installed,
         :meth:`run` dispatches through an instrumented twin loop; the
         ordinary path is untouched otherwise.
@@ -269,8 +431,8 @@ class EventLoop:
         self._stopped = True
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued. O(1)."""
-        return self._live
+        """Live (non-cancelled) events still queued, heap + wheel. O(1)."""
+        return self._live + self.wheel._live
 
     def set_clock_watcher(
         self, fn: Optional[Callable[[float, float], None]]
@@ -286,8 +448,18 @@ class EventLoop:
         """
         self._clock_watcher = fn
 
+    def configure_wheel(self, resolution: float) -> None:
+        """Replace the timer wheel (e.g. with a different resolution).
+
+        Only valid while no timers are parked — call it at build time,
+        before the simulation schedules anything through the wheel.
+        """
+        if self.wheel._live or self.wheel._cancelled:
+            raise SimulationError("cannot reconfigure a wheel holding timers")
+        self.wheel = TimerWheel(self, resolution)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"EventLoop(now={self.now:.9f}, pending={self._live}, "
+            f"EventLoop(now={self.now:.9f}, pending={self.pending_count()}, "
             f"processed={self.events_processed})"
         )

@@ -22,12 +22,17 @@ T = TypeVar("T")
 class SeededRng:
     """A seeded random source with derivable named substreams."""
 
-    __slots__ = ("seed", "_rng", "_streams")
+    __slots__ = ("seed", "_rng", "_streams", "randbelow")
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._rng = random.Random(self.seed)
         self._streams: Dict[str, "SeededRng"] = {}
+        # Hot-path alias: for n > 0, ``randrange(n)`` is exactly one
+        # ``_randbelow(n)`` draw, so this consumes the identical stream
+        # while skipping two wrapper frames per call.  Per-packet
+        # spraying uses it (see net/routing.py).
+        self.randbelow = self._rng._randbelow
 
     def stream(self, name: str) -> "SeededRng":
         """Return (creating if needed) an independent named substream.

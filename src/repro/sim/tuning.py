@@ -1,0 +1,57 @@
+"""Hot-path tuning knobs for one simulation run.
+
+Every optimization in the per-packet hot path — the hierarchical timer
+wheel, fused per-hop port events, inline back-to-back drains, and packet
+pooling — is behaviour-preserving by construction: a run's digest
+(:func:`repro.validate.digest.run_digest`) is byte-identical with any
+combination of these knobs.  They exist as knobs anyway, for three
+reasons:
+
+* the determinism suite proves the byte-identity claim by running the
+  same spec with everything on and everything off;
+* benchmarking needs an honest baseline (``SimTuning.baseline()``);
+* if an optimization is ever suspected in a bug hunt, it can be switched
+  off in isolation without touching code.
+
+The default (everything on) is what experiments should use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimTuning"]
+
+
+@dataclass(frozen=True)
+class SimTuning:
+    """Per-run switches for the hot-path optimizations.
+
+    Attributes:
+        timer_wheel: Route :meth:`~repro.sim.engine.EventLoop.schedule_timer`
+            through the hierarchical timing wheel instead of the heap.
+        fused_ports: Ports fuse serialization-done and propagation-
+            arrival into one reused heap entry per hop.
+        inline_drain: Busy ports may chain back-to-back departures
+            inline via :meth:`~repro.sim.engine.EventLoop.try_advance`
+            (only meaningful when ``fused_ports`` is on).
+        packet_pool: Recycle :class:`~repro.net.packet.Packet` objects
+            through a freelist once they are delivered.
+        wheel_resolution: Timer-wheel tick in seconds.
+    """
+
+    timer_wheel: bool = True
+    fused_ports: bool = True
+    inline_drain: bool = True
+    packet_pool: bool = True
+    wheel_resolution: float = 1e-6
+
+    @classmethod
+    def baseline(cls) -> "SimTuning":
+        """Everything off — the pre-optimization execution path."""
+        return cls(
+            timer_wheel=False,
+            fused_ports=False,
+            inline_drain=False,
+            packet_pool=False,
+        )

@@ -1,0 +1,267 @@
+"""Hierarchical timing wheel for high-volume cancellable timers.
+
+Protocol timers (pHost token-expiry recovery checks, pFabric
+retransmission timeouts, Fastpass recheck timers) are scheduled by the
+thousand, re-armed or cancelled long before they fire, and all live a
+bounded distance in the future.  Keeping them in the event loop's binary
+heap means O(log n) pushes, corpse entries after every cancel, and
+periodic compaction churn.  A timing wheel gives O(1) schedule and
+cancel: timers hash into a slot by expiration tick, cancelled entries
+are simply swept when the cursor passes their slot, and only events
+beyond the wheel's horizon fall back to the heap (the long tail the heap
+is actually good at).
+
+Design (classic hierarchical wheel, as in Varghese & Lauck and the
+Linux kernel timer wheel):
+
+* ``LEVELS`` levels of ``SLOTS`` slots each; level ``l`` covers ticks at
+  granularity ``SLOTS**l``.  A timer lands in the lowest level whose
+  window reaches its expiration tick; when the cursor crosses a level
+  boundary, that level's due slot *cascades* down.
+* The wheel never fires callbacks itself.  :meth:`advance` pours due
+  entries into the owning :class:`~repro.sim.engine.EventLoop`'s heap,
+  carrying the ``seq`` they drew at schedule time, so the loop's global
+  ``(time, seq)`` order — and therefore every simulation digest — is
+  exactly what a pure-heap run produces.  Pouring an entry *early* is
+  always safe (the heap re-sorts it); only a late pour could reorder
+  events, and the cursor arithmetic below is built around that asymmetry.
+* Entries share the event-loop's list layout ``[when, seq, fn, args,
+  owner]`` (plus a cached expiration tick), so ``EventLoop.cancel`` and
+  ``EventLoop.is_pending`` work on wheel-parked timers unchanged —
+  cancellation nulls the callback slot and dispatches to the owner for
+  the per-container live/cancelled accounting.
+
+Float/tick mapping: ticks are ``floor(when / resolution)`` computed with
+a one-ulp correction (``tick -= 1`` if ``tick * resolution > when``) so
+the same monotone mapping is used on the schedule and advance sides.
+The correction may undershoot the true floor by one tick, which is why
+:meth:`advance` always advances one tick *past* its target — harmless
+(early pour) and it guarantees the loop's pour condition makes progress.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["TimerWheel"]
+
+_FN = 2  # callback slot inside an entry; nulled on cancel/fire
+_TICK = 5  # cached expiration tick (wheel entries only)
+
+
+class TimerWheel:
+    """Hierarchical timing wheel pouring due timers into a heap.
+
+    The wheel is owned by exactly one :class:`repro.sim.engine.EventLoop`
+    (``loop``); it draws event sequence numbers from the loop so poured
+    entries interleave deterministically with directly-scheduled ones.
+    """
+
+    SLOT_BITS = 8
+    SLOTS = 1 << SLOT_BITS  # 256 slots per level
+    LEVELS = 3  # horizon: 256**3 ticks (~16.7 s at 1 us resolution)
+
+    __slots__ = (
+        "resolution",
+        "next_hint",
+        "scheduled_total",
+        "cancelled_total",
+        "poured_total",
+        "_loop",
+        "_levels",
+        "_counts",
+        "_tick",
+        "_live",
+        "_cancelled",
+    )
+
+    def __init__(self, loop, resolution: float = 1e-6) -> None:
+        if resolution <= 0.0:
+            raise ValueError("wheel resolution must be positive")
+        self.resolution = resolution
+        self._loop = loop
+        self._levels: List[List[list]] = [
+            [[] for _ in range(self.SLOTS)] for _ in range(self.LEVELS)
+        ]
+        self._counts = [0] * self.LEVELS  # entries (live + corpses) per level
+        self._tick = 0  # cursor: every slot <= _tick has been poured
+        self._live = 0
+        self._cancelled = 0
+        #: Lower bound on the earliest live wheel timer's fire time.  The
+        #: event loop pours whenever the heap head reaches this, so a
+        #: conservative (too-small) hint costs a no-op pour, never a
+        #: reordering.
+        self.next_hint = resolution
+        self.scheduled_total = 0
+        self.cancelled_total = 0
+        self.poured_total = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling / cancellation
+    # ------------------------------------------------------------------
+    def schedule(
+        self, when: float, fn: Callable[..., Any], args: Tuple[Any, ...]
+    ) -> Optional[list]:
+        """Park ``fn(*args)`` at absolute time ``when``.
+
+        Returns the entry handle (compatible with ``EventLoop.cancel``),
+        or ``None`` when the timer is due within the current tick or
+        beyond the wheel horizon — those belong on the heap.
+        """
+        res = self.resolution
+        tick = int(when / res)
+        if tick * res > when:  # one-ulp float correction: keep tick*res <= when
+            tick -= 1
+        cursor = self._tick
+        if tick - cursor < 1 or (tick >> 16) - (cursor >> 16) >= 256:
+            return None
+        loop = self._loop
+        loop._seq += 1
+        entry = [when, loop._seq, fn, args, self, tick]
+        self._place(entry, tick)
+        self._live += 1
+        self.scheduled_total += 1
+        if when < self.next_hint:
+            self.next_hint = when
+        return entry
+
+    def _entry_cancelled(self, entry: list) -> None:
+        """Owner-side accounting for ``EventLoop.cancel`` (fn already
+        nulled).  The corpse stays in its slot and is swept, O(1), when
+        the cursor passes it."""
+        self._live -= 1
+        self._cancelled += 1
+        self.cancelled_total += 1
+
+    def _place(self, entry: list, tick: int) -> None:
+        cursor = self._tick
+        if tick - cursor < 256:  # includes ticks at/behind the cursor (cascade)
+            level, idx = 0, tick & 255
+        elif (tick >> 8) - (cursor >> 8) < 256:
+            level, idx = 1, (tick >> 8) & 255
+        else:  # schedule() guarantees the level-2 window reaches this tick
+            level, idx = 2, (tick >> 16) & 255
+        self._levels[level][idx].append(entry)
+        self._counts[level] += 1
+
+    # ------------------------------------------------------------------
+    # Advancing / pouring
+    # ------------------------------------------------------------------
+    def advance(self, t: float, heap: list) -> None:
+        """Pour every timer due at or before time ``t`` into ``heap``.
+
+        Advances one tick past ``t``'s (corrected) floor: pouring early
+        is harmless and the overshoot guarantees ``next_hint`` ends up
+        strictly above ``t``, so the caller's pour loop terminates.
+        """
+        res = self.resolution
+        tick = int(t / res)
+        if tick * res > t:
+            tick -= 1
+        self._advance_ticks(tick + 1, heap)
+
+    def advance_until_poured(self, heap: list) -> None:
+        """With an empty heap and live timers, pour the earliest batch.
+
+        Walks the cursor window by window; the per-level occupancy
+        counts make empty stretches O(1) boundary jumps.
+        """
+        while self._live and not heap:
+            self._advance_ticks(self._tick + 256, heap)
+
+    def _advance_ticks(self, target: int, heap: list) -> None:
+        tick = self._tick
+        if target <= tick:
+            return
+        counts = self._counts
+        lvl0 = self._levels[0]
+        loop = self._loop
+        push = heapq.heappush
+        while tick < target:
+            if counts[0]:
+                tick += 1
+                if not tick & 255:
+                    self._tick = tick  # cascade placement is cursor-relative
+                    if not tick & 65535 and counts[2]:
+                        self._cascade(2, (tick >> 16) & 255)
+                    if counts[1]:
+                        self._cascade(1, (tick >> 8) & 255)
+                slot = lvl0[tick & 255]
+                if slot:
+                    counts[0] -= len(slot)
+                    poured = 0
+                    for e in slot:
+                        if e[_FN] is None:  # cancelled corpse: sweep
+                            self._cancelled -= 1
+                        else:
+                            e[4] = loop  # ownership moves to the heap
+                            push(heap, e)
+                            poured += 1
+                    del slot[:]
+                    if poured:
+                        self._live -= poured
+                        loop._live += poured
+                        self.poured_total += poured
+                continue
+            # Level 0 empty: jump straight to the next cascade boundary.
+            if counts[1]:
+                nxt = ((tick >> 8) + 1) << 8
+            elif counts[2]:
+                nxt = ((tick >> 16) + 1) << 16
+            else:  # wheel fully empty
+                tick = target
+                break
+            if nxt > target:
+                # No cascade boundary inside this window: jump to the
+                # target directly.  (When the target IS the boundary we
+                # must fall through and cascade — skipping it would
+                # strand outer-level entries forever when the cursor is
+                # advanced in exactly boundary-aligned windows, as
+                # advance_until_poured does on an empty heap.)
+                tick = target
+                break
+            tick = nxt
+            self._tick = tick
+            if not tick & 65535 and counts[2]:
+                self._cascade(2, (tick >> 16) & 255)
+            if counts[1]:
+                self._cascade(1, (tick >> 8) & 255)
+        self._tick = tick
+        self.next_hint = (tick + 1) * self.resolution
+
+    def _cascade(self, level: int, idx: int) -> None:
+        slot = self._levels[level][idx]
+        if not slot:
+            return
+        self._counts[level] -= len(slot)
+        for e in slot:
+            if e[_FN] is None:  # corpse: _live was decremented at cancel time
+                self._cancelled -= 1
+            else:
+                self._place(e, e[_TICK])
+        del slot[:]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Live (non-cancelled) timers currently parked in the wheel."""
+        return self._live
+
+    def stats(self) -> dict:
+        """Lifetime counters, for the profiler's timer-wheel breakdown."""
+        return {
+            "resolution": self.resolution,
+            "scheduled": self.scheduled_total,
+            "cancelled": self.cancelled_total,
+            "poured": self.poured_total,
+            "parked": self._live,
+            "corpses": self._cancelled,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TimerWheel(res={self.resolution:g}, parked={self._live}, "
+            f"corpses={self._cancelled}, poured={self.poured_total})"
+        )

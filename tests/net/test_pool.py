@@ -1,0 +1,87 @@
+"""Unit tests for the packet freelist (repro.net.pool)."""
+
+from __future__ import annotations
+
+from repro.net.packet import Flow, PacketType
+from repro.net.pool import PacketPool
+
+
+def make_flow(fid=1, n_pkts=4):
+    return Flow(fid=fid, src=0, dst=1, size_bytes=n_pkts * 1460, arrival=0.0)
+
+
+def test_disabled_pool_is_a_plain_factory():
+    pool = PacketPool(enabled=False)
+    flow = make_flow()
+    a = pool.data(flow, 0, flow.src, flow.dst, 1500, 1, 0.0)
+    pool.release(a)
+    b = pool.data(flow, 1, flow.src, flow.dst, 1500, 1, 0.0)
+    assert b is not a  # release was a no-op
+    assert pool.reused == 0
+    assert pool.stats()["free"] == 0
+
+
+def test_enabled_pool_recycles_released_packets():
+    pool = PacketPool(enabled=True)
+    flow = make_flow()
+    a = pool.data(flow, 0, flow.src, flow.dst, 1500, 1, 0.0)
+    pool.release(a)
+    b = pool.data(flow, 1, flow.src, flow.dst, 1460, 3, 2.5)
+    assert b is a  # same object back
+    assert pool.allocated == 1
+    assert pool.reused == 1
+    # all fields re-stamped for the new life
+    assert (b.seq, b.size, b.priority, b.born) == (1, 1460, 3, 2.5)
+
+
+def test_release_clears_references_and_scratch_fields():
+    pool = PacketPool(enabled=True)
+    flow = make_flow()
+    pkt = pool.data(flow, 2, flow.src, flow.dst, 1500, 1, 0.0)
+    pkt.payload = object()
+    pkt.remaining = 7
+    pkt.data_prio = 5
+    pkt.expiry = 9.9
+    pkt.hops = 3
+    pool.release(pkt)
+    assert pkt.flow is None and pkt.payload is None
+    assert pkt.remaining == 0 and pkt.data_prio == 0
+    assert pkt.expiry == 0.0 and pkt.hops == 0
+
+
+def test_control_packets_recycle_too():
+    pool = PacketPool(enabled=True)
+    flow = make_flow()
+    rts = pool.control(PacketType.RTS, flow, 0, flow.src, flow.dst, 0.0)
+    pool.release(rts)
+    tok = pool.control(PacketType.TOKEN, flow, 3, flow.dst, flow.src, 1.0)
+    assert tok is rts
+    assert tok.ptype is PacketType.TOKEN
+    assert (tok.seq, tok.src, tok.dst, tok.born) == (3, flow.dst, flow.src, 1.0)
+
+
+def test_freelist_is_bounded():
+    pool = PacketPool(enabled=True, max_free=2)
+    flow = make_flow()
+    pkts = [pool.data(flow, i, flow.src, flow.dst, 1500, 1, 0.0) for i in range(5)]
+    for p in pkts:
+        pool.release(p)
+    assert pool.stats()["free"] == 2  # cap respected
+    assert pool.released == 2
+
+
+def test_runner_disables_pooling_for_packet_retaining_hooks():
+    from repro.experiments.defaults import make_spec
+    from repro.experiments.runner import build_simulation
+
+    class Keeper:
+        retains_packets = True
+
+        def bind(self, ctx):
+            return self
+
+    spec = make_spec("phost", "websearch", "tiny", seed=42)
+    assert build_simulation(spec).pool.enabled
+    keeper_ctx = build_simulation(spec.variant(instruments=(Keeper(),)))
+    assert not keeper_ctx.pool.enabled
+    assert all(h.pool is None for h in keeper_ctx.fabric.hosts)

@@ -156,3 +156,68 @@ def test_high_water_reflects_post_drop_occupancy():
     assert port.pkts_dropped > 0
     assert port.max_qlen_bytes <= 3_000
     assert port.max_qlen_pkts <= 2
+
+
+def test_fused_and_classic_paths_deliver_identically():
+    """Fusion (entry reuse + inline drain) is pure mechanics: arrival
+    times, delivery order, and port counters must match the classic
+    two-schedules-per-hop path exactly."""
+    outcomes = []
+    for fused in (True, False):
+        env = EventLoop()
+        port, sink = make_port(env)
+        port.fused = fused
+        for seq in range(8):
+            port.send(data_pkt(1500 if seq % 2 else 700, seq=seq))
+        env.schedule_at(2e-6, port.send, data_pkt(40, priority=0, seq=100))
+        env.run()
+        outcomes.append(
+            (
+                [p.seq for p in sink.received],
+                sink.times,
+                port.bytes_sent,
+                port.pkts_sent,
+                env.events_processed,
+            )
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+def test_fused_drain_elides_heap_events_when_alone():
+    """A lone busy port with queued packets and an empty heap drains
+    inline: far fewer heap round-trips, same deliveries and same
+    events_processed accounting."""
+    env = EventLoop()
+    port, sink = make_port(env, cap=200_000)  # hold all 50 packets
+    for seq in range(50):
+        port.send(data_pkt(1500, seq=seq))
+    env.run()
+    assert port.pkts_dropped == 0
+    assert [p.seq for p in sink.received] == list(range(50))
+    # 50 serializations + 50 arrivals, whether elided or dispatched.
+    assert env.events_processed == 100
+
+
+def test_pull_timing_unchanged_by_fusion():
+    """The pull decision happens at serialization-done time on both
+    paths (the receiver must not be able to influence it mid-hop)."""
+    pull_times = []
+    for fused in (True, False):
+        env = EventLoop()
+        port, sink = make_port(env)
+        port.fused = fused
+        budget = [3]
+
+        def pull():
+            if budget[0]:
+                budget[0] -= 1
+                pull_times.append((fused, round(env.now * 1e9)))
+                return data_pkt(1500, seq=10 - budget[0])
+            return None
+
+        port.pull_source = pull
+        port.kick()
+        env.run()
+    fused_t = [t for f, t in pull_times if f]
+    classic_t = [t for f, t in pull_times if not f]
+    assert fused_t == classic_t

@@ -15,6 +15,7 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.spec import ExperimentSpec
 from repro.net.topology import TopologyConfig
 from repro.sim.randoms import SeededRng
+from repro.sim.tuning import SimTuning
 from repro.validate import run_digest
 
 PROTOCOLS = ["phost", "pfabric", "fastpass", "ideal"]
@@ -73,6 +74,35 @@ def test_protocols_produce_distinct_digests():
     the same workload and seed."""
     digests = [digest_of(p, 5) for p in PROTOCOLS]
     assert len(set(digests)) == len(PROTOCOLS)
+
+
+@pytest.mark.parametrize("seed", [5, 11])
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_tuning_knobs_do_not_change_behaviour(protocol, seed):
+    """The hot-path optimizations (timer wheel, fused ports, inline
+    drain, packet pooling) are pure performance: with everything OFF
+    the digest must be byte-identical to the optimized reference run."""
+    baseline = run_digest(
+        run_experiment(spec(protocol, seed).variant(tuning=SimTuning.baseline()))
+    )
+    assert baseline == digest_of(protocol, seed)
+
+
+@pytest.mark.parametrize(
+    "tuning",
+    [
+        SimTuning(timer_wheel=False),
+        SimTuning(fused_ports=False),
+        SimTuning(inline_drain=False),
+        SimTuning(packet_pool=False),
+    ],
+    ids=["no-wheel", "no-fusion", "no-drain", "no-pool"],
+)
+def test_each_tuning_knob_is_independently_inert(tuning):
+    """Disable one optimization at a time: any digest drift localizes
+    the misbehaving fast path immediately."""
+    fresh = run_digest(run_experiment(spec("phost", 5).variant(tuning=tuning)))
+    assert fresh == digest_of("phost", 5)
 
 
 def test_stream_seed_derivation_is_stable_constants():

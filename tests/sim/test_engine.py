@@ -272,3 +272,51 @@ def test_compaction_during_run_callbacks_is_safe():
     env.run()
     assert survivors == ["late"]
     assert env.pending_count() == 0
+
+
+def test_cancel_after_pop_is_a_counted_noop():
+    """A cancel() racing the same tick's fire must not corrupt the
+    live/cancelled ledgers: once the loop pops an entry it is dead, and
+    cancelling it (from its own callback or any re-entrant path) is a
+    no-op."""
+    env = EventLoop()
+    fired = []
+    entries = []
+
+    def cb(i):
+        fired.append(i)
+        EventLoop.cancel(entries[i])  # self-cancel of the firing entry
+        if i:
+            EventLoop.cancel(entries[i - 1])  # cancel an already-fired one
+
+    for i in range(5):
+        entries.append(env.schedule_at((i + 1) * 1e-6, cb, i))
+    env.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert env.pending_count() == 0
+    assert env._cancelled == 0  # no phantom corpses left behind
+    assert env.events_processed == 5
+
+
+def test_cancel_from_clock_watcher_sees_dead_entry():
+    """The loop marks an entry fired *before* the clock watcher runs, so
+    a watcher that cancels the offending entry cannot double-count it."""
+    import heapq
+
+    env = EventLoop()
+    env.schedule_at(2e-6, lambda: None)
+    env.run()
+
+    fired = []
+    entry = [1e-6, env._seq + 10**6, fired.append, ("late",), env]
+    heapq.heappush(env._heap, entry)
+    env._live += 1
+
+    def watcher(now, when):
+        EventLoop.cancel(entry)  # the entry is mid-fire: must be a no-op
+
+    env.set_clock_watcher(watcher)
+    env.run()
+    assert fired == ["late"]  # the callback still ran exactly once
+    assert env.pending_count() == 0
+    assert env._cancelled == 0
