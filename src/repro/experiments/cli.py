@@ -161,6 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
             "chrome://tracing; implies --obs)"
         ),
     )
+    faults = parser.add_argument_group("fault injection (repro.faults; for --run/--replay)")
+    faults.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "inject faults per a comma-separated plan, e.g. "
+            "'loss=0.01', 'ge=0.05:0.3', 'corrupt=0.001', "
+            "'down=tor0.up.c1@0.001:0.002', 'pause=3@0.001:0.002', "
+            "'blackout=0:0.0005', 'drop=rts:1' (see docs/FAULTS.md)"
+        ),
+    )
+    faults.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help=(
+            "seed for the fault layer's own RNG streams, independent of "
+            "--seed so faults can be re-drawn against identical traffic"
+        ),
+    )
     return parser
 
 
@@ -174,6 +195,15 @@ def _audit_instruments(args: argparse.Namespace) -> tuple:
     from repro.validate import standard_auditors
 
     return standard_auditors()
+
+
+def _fault_plan(args: argparse.Namespace):
+    """Build a FaultPlan from --faults/--fault-seed (None if unused)."""
+    if args.faults is None:
+        return None
+    from repro.faults import parse_fault_plan
+
+    return parse_fault_plan(args.faults, seed=args.fault_seed)
 
 
 def _wants_obs(args: argparse.Namespace) -> bool:
@@ -247,6 +277,8 @@ def _result_dict(result: ExperimentResult) -> dict:
         "duration_s": result.duration,
         "wall_seconds": result.wall_seconds,
     }
+    if result.fault_drops:
+        payload["fault_drops"] = result.fault_drops
     if result.audit is not None:
         payload["audit"] = result.audit.to_dict()
     if result.telemetry is not None:
@@ -274,6 +306,8 @@ def _emit_result(result: ExperimentResult, as_json: bool) -> None:
         f"99%ile slowdown: {result.tail_slowdown():.3f}, "
         f"drops by hop: {result.drops.by_hop}"
     )
+    if result.fault_drops:
+        print(f"  injected fault drops: {result.fault_drops}")
 
 
 def _figure_dict(result: FigureResult) -> dict:
@@ -297,7 +331,9 @@ def _run_single(args: argparse.Namespace) -> int:
         overrides["n_flows"] = args.flows
     spec = make_spec(protocol, workload, args.scale, **overrides)
     spec = spec.variant(
-        instruments=_audit_instruments(args), observability=_obs_config(args)
+        instruments=_audit_instruments(args),
+        observability=_obs_config(args),
+        faults=_fault_plan(args),
     )
     result = run_experiment(spec)
     _emit_result(result, args.json)
@@ -354,6 +390,7 @@ def _run_replay(args: argparse.Namespace) -> int:
         topology=preset.topology,
         instruments=_audit_instruments(args),
         observability=_obs_config(args),
+        faults=_fault_plan(args),
         seed=args.seed,
     )
     flows = load_flows(args.replay, n_hosts=preset.topology.n_hosts)

@@ -120,6 +120,14 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
         env.timer_wheel_enabled = False
     ctx.shared = proto.build_shared(ctx)
     proto.install_agents(ctx)
+    if spec.faults is not None and not spec.faults.is_empty():
+        # Installed before user instruments so auditors chain onto the
+        # fault-drop hook and the retains_packets gate below sees a
+        # corrupting plan.  Empty plans install nothing at all, keeping
+        # the run byte-identical to faults=None (golden digests).
+        from repro.faults.injector import FaultInjector
+
+        ctx.add_hook(FaultInjector(spec.faults))
     for hook in spec.instruments:
         ctx.add_hook(hook)
     if spec.observability is not None:
@@ -251,6 +259,7 @@ def run_flow_list(
         stability=list(tracker.samples) if tracker is not None else [],
         events_processed=env.events_processed,
         wall_seconds=time.perf_counter() - wall_start,
+        fault_drops=getattr(fabric, "fault_drops_total", 0),
         audit=AuditReport.from_hooks(ctx.hooks),
         telemetry=Telemetry.report_from_hooks(ctx.hooks),
     )
@@ -295,6 +304,7 @@ def run_incast(
     instruments: tuple = (),
     observability: Any = None,
     tuning: Any = None,
+    faults: Any = None,
 ) -> IncastResult:
     """Closed-loop incast: each request fans N senders into one receiver;
     the next request starts when the previous completes."""
@@ -307,6 +317,7 @@ def run_incast(
         instruments=instruments,
         observability=observability,
         tuning=tuning,
+        faults=faults,
         seed=seed,
     )
     ctx = build_simulation(spec)

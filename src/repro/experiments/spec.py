@@ -76,6 +76,11 @@ class ExperimentSpec:
             optimizations on.  Results are byte-identical for any
             setting — the knobs exist for the determinism suite and for
             benchmarking against ``SimTuning.baseline()``.
+        faults: Optional :class:`repro.faults.FaultPlan`.  A non-empty
+            plan makes the runner attach a
+            :class:`repro.faults.FaultInjector` hook; ``None`` or an
+            empty plan injects nothing and leaves the run byte-identical
+            to the fault-free goldens (see docs/FAULTS.md).
         seed: RNG seed; everything is deterministic given it.
         label: Free-form tag for reports.
     """
@@ -99,6 +104,7 @@ class ExperimentSpec:
     instruments: Tuple[Any, ...] = ()
     observability: Any = None
     tuning: Any = None
+    faults: Any = None
     seed: int = 42
     label: str = ""
 
@@ -144,6 +150,9 @@ class ExperimentResult:
     stability: List[StabilitySample] = field(default_factory=list)
     events_processed: int = 0
     wall_seconds: float = 0.0
+    #: Injected-fault drops (repro.faults), ledgered separately from
+    #: the congestion drops in ``drops``; 0 in fault-free runs.
+    fault_drops: int = 0
     #: AuditReport when auditors were attached via spec.instruments
     #: (see repro.validate); None otherwise.
     audit: Optional[Any] = None

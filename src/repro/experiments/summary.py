@@ -69,6 +69,9 @@ PAPER_EXPECTATIONS: Dict[str, str] = {
              "retuned for small buffers).",
     "fig11": "pFabric gives the short-flow (IMC10) tenant a much larger share; "
              "pHost's tenant-fair policy splits throughput evenly.",
+    "figR": "(not in the paper) Robustness extension: 100% completion under "
+            "packet loss and failed uplinks; loss costs tail slowdown, not "
+            "flows; spraying routes around dead uplinks (zero drops on them).",
 }
 
 _PROTOS = ("phost", "pfabric", "fastpass")

@@ -1,0 +1,37 @@
+"""Deterministic, seeded fault injection for simulation runs.
+
+The subsystem is declared — not imperatively scripted — as a
+:class:`~repro.faults.plan.FaultPlan` attached to
+``ExperimentSpec.faults``.  The runner turns a non-empty plan into a
+:class:`~repro.faults.injector.FaultInjector` hook that wraps wire
+links, schedules link/host/arbiter outage events, and ledgers every
+injected drop separately from congestion drops so the validate-layer
+auditors keep balancing.  An empty plan installs nothing and leaves a
+run byte-identical to one with no plan at all (see docs/FAULTS.md for
+the determinism contract).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import BernoulliLoss, GilbertElliottLoss
+from repro.faults.plan import (
+    ArbiterBlackout,
+    FaultPlan,
+    GilbertElliott,
+    HostPause,
+    LinkDown,
+    ScriptedDrop,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "ArbiterBlackout",
+    "BernoulliLoss",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliott",
+    "GilbertElliottLoss",
+    "HostPause",
+    "LinkDown",
+    "ScriptedDrop",
+    "parse_fault_plan",
+]

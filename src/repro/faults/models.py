@@ -1,0 +1,81 @@
+"""Per-link stochastic loss models.
+
+Each tapped link owns one model instance and one derived RNG stream
+(``SeededRng(plan.seed).stream(link_name)``), so loss draws on one link
+never perturb another link's sequence — adding a link to ``loss_links``
+leaves every other link's fault pattern unchanged.
+
+Draw discipline (the determinism contract depends on it): a uniform
+draw is consumed only when the probability is strictly between 0 and 1,
+except that Gilbert–Elliott always consumes exactly one transition draw
+per packet.  Degenerate probabilities short-circuit without touching
+the stream, so e.g. ``loss_bad=1.0`` and ``loss_bad=0.999999`` differ
+only where the draw itself says so.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import GilbertElliott
+from repro.sim.randoms import SeededRng
+
+__all__ = ["BernoulliLoss", "GilbertElliottLoss"]
+
+
+class BernoulliLoss:
+    """Independent per-packet loss with fixed probability."""
+
+    __slots__ = ("rate",)
+
+    def __init__(self, rate: float) -> None:
+        self.rate = rate
+
+    def lose(self, rng: SeededRng) -> bool:
+        rate = self.rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return rng.random() < rate
+
+
+class GilbertElliottLoss:
+    """One link's instance of the two-state Markov loss chain.
+
+    Tracks occupancy counters (``steps`` / ``bad_steps``) so tests can
+    check convergence to the stationary distribution
+    ``p_enter_bad / (p_enter_bad + p_exit_bad)``.
+    """
+
+    __slots__ = ("params", "bad", "steps", "bad_steps")
+
+    def __init__(self, params: GilbertElliott) -> None:
+        self.params = params
+        self.bad = False
+        self.steps = 0
+        self.bad_steps = 0
+
+    def lose(self, rng: SeededRng) -> bool:
+        p = self.params
+        # One transition draw per packet, unconditionally: state flips
+        # must not depend on whether the loss draw below is degenerate.
+        u = rng.random()
+        if self.bad:
+            if u < p.p_exit_bad:
+                self.bad = False
+        else:
+            if u < p.p_enter_bad:
+                self.bad = True
+        self.steps += 1
+        if self.bad:
+            self.bad_steps += 1
+        loss_p = p.loss_bad if self.bad else p.loss_good
+        if loss_p <= 0.0:
+            return False
+        if loss_p >= 1.0:
+            return True
+        return rng.random() < loss_p
+
+    @property
+    def occupancy_bad(self) -> float:
+        """Empirical fraction of steps spent in the bad state."""
+        return self.bad_steps / self.steps if self.steps else 0.0

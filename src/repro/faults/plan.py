@@ -1,0 +1,343 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen value object carried on
+``ExperimentSpec.faults``.  Freezing it matters twice over: the figure
+driver memoizes runs on ``repr(spec)``, and the determinism suite
+demands that the same plan + seed reproduce byte-identical digests —
+both need a plan whose identity is exactly its field values.
+
+Links are named by the transmitting port (``h3.nic``, ``tor0.up.c1``,
+``tor2.down.h8``, ``core1.down.tor0`` — see
+:data:`repro.net.topology.HOP_NAMES`); a fault on a link applies to
+everything that port serializes onto the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.packet import PacketType
+
+__all__ = [
+    "ArbiterBlackout",
+    "FaultPlan",
+    "GilbertElliott",
+    "HostPause",
+    "LinkDown",
+    "ScriptedDrop",
+    "parse_fault_plan",
+]
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Parameters of the two-state Markov (Gilbert–Elliott) loss model.
+
+    Each packet first draws a state transition (good→bad with
+    probability ``p_enter_bad``, bad→good with ``p_exit_bad``), then a
+    loss against the new state's loss probability.  The stationary
+    fraction of time spent in the bad state is
+    ``p_enter_bad / (p_enter_bad + p_exit_bad)``.
+    """
+
+    p_enter_bad: float
+    p_exit_bad: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter_bad", "p_exit_bad"):
+            v = getattr(self, name)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {v}")
+        for name in ("loss_good", "loss_bad"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run probability of being in the bad state."""
+        return self.p_enter_bad / (self.p_enter_bad + self.p_exit_bad)
+
+    @property
+    def mean_loss(self) -> float:
+        """Long-run per-packet loss probability."""
+        pi = self.stationary_bad
+        return pi * self.loss_bad + (1.0 - pi) * self.loss_good
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Take one link down at ``down_at``; restore it at ``up_at``.
+
+    While down, every packet the port serializes is recorded as an
+    injected ``link_down`` drop at the far end of the wire (the queue
+    keeps draining — a dead link is a black hole, not backpressure).
+    ``up_at`` of ``inf`` means the link never comes back.
+    """
+
+    link: str
+    down_at: float
+    up_at: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.down_at < 0.0:
+            raise ValueError("down_at must be >= 0")
+        if self.up_at <= self.down_at:
+            raise ValueError("up_at must be > down_at")
+
+
+@dataclass(frozen=True)
+class HostPause:
+    """Freeze one host's connectivity over ``[pause_at, resume_at)``.
+
+    Modeled as both of the host's links (its NIC uplink and the ToR
+    port facing it) going down for the interval, so traffic in either
+    direction is black-holed and the recovery timers must carry the
+    flow across the outage.
+    """
+
+    host: int
+    pause_at: float
+    resume_at: float
+
+    def __post_init__(self) -> None:
+        if self.host < 0:
+            raise ValueError("host must be >= 0")
+        if self.pause_at < 0.0:
+            raise ValueError("pause_at must be >= 0")
+        if self.resume_at <= self.pause_at:
+            raise ValueError("resume_at must be > pause_at")
+
+
+@dataclass(frozen=True)
+class ArbiterBlackout:
+    """The Fastpass arbiter loses state over ``[start, end)``.
+
+    Incoming REQUESTs during the window are lost and epochs elapse
+    unallocated; sources must re-request after their RTO.  Inert for
+    protocols without a central arbiter.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ValueError("start must be >= 0")
+        if self.end <= self.start:
+            raise ValueError("end must be > start")
+
+
+@dataclass(frozen=True)
+class ScriptedDrop:
+    """Drop exact packets by class — the loss-recovery tests' scalpel.
+
+    After ``skip`` matching packets have passed, the next ``count``
+    matches are dropped.  ``ptype`` is a :class:`PacketType` name
+    (case-insensitive).  Optional filters narrow the match; note a
+    packet traverses up to four links, so without a ``link`` or ``hop``
+    filter one logical packet can match several times — tests pin
+    ``hop=1`` (sender NIC) to count each packet once.
+    """
+
+    ptype: str
+    count: int = 1
+    skip: int = 0
+    link: Optional[str] = None
+    flow: Optional[int] = None
+    seq: Optional[int] = None
+    hop: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ptype.upper() not in PacketType.__members__:
+            raise ValueError(
+                f"unknown packet type {self.ptype!r}; "
+                f"expected one of {sorted(PacketType.__members__)}"
+            )
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.skip < 0:
+            raise ValueError("skip must be >= 0")
+
+    @property
+    def packet_type(self) -> PacketType:
+        return PacketType[self.ptype.upper()]
+
+
+def _as_tuple(value):
+    return tuple(value) if value is not None and not isinstance(value, tuple) else value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the fault layer will do to one run.
+
+    Attributes:
+        loss_rate: Per-packet Bernoulli wire-loss probability.
+        gilbert_elliott: Bursty-loss model (mutually exclusive with
+            ``loss_rate``); each link gets an independent state machine.
+        corrupt_rate: Per-packet corruption probability.  Corrupted
+            packets are dropped from the receiver's point of view but
+            *retained* by the injector for replay/inspection — which is
+            why a corrupting plan disables the packet pool (see
+            :attr:`FaultInjector.retains_packets`).
+        loss_links: Restrict loss/corruption to these link names
+            (``None`` = every link).
+        link_downs / host_pauses / arbiter_blackouts: Scheduled outages.
+        scripted: Exact-packet drop rules for unit tests.
+        seed: Root of the fault layer's own RNG streams — deliberately
+            independent of the run seed, so the same traffic can be
+            replayed under different fault draws and vice versa.
+    """
+
+    loss_rate: float = 0.0
+    gilbert_elliott: Optional[GilbertElliott] = None
+    corrupt_rate: float = 0.0
+    loss_links: Optional[Tuple[str, ...]] = None
+    link_downs: Tuple[LinkDown, ...] = ()
+    host_pauses: Tuple[HostPause, ...] = ()
+    arbiter_blackouts: Tuple[ArbiterBlackout, ...] = ()
+    scripted: Tuple[ScriptedDrop, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Coerce list-valued fields so equal plans repr identically.
+        for name in ("loss_links", "link_downs", "host_pauses",
+                     "arbiter_blackouts", "scripted"):
+            coerced = _as_tuple(getattr(self, name))
+            object.__setattr__(self, name, coerced)
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if not 0.0 <= self.corrupt_rate < 1.0:
+            raise ValueError(
+                f"corrupt_rate must be in [0, 1), got {self.corrupt_rate}"
+            )
+        if self.loss_rate > 0.0 and self.gilbert_elliott is not None:
+            raise ValueError("loss_rate and gilbert_elliott are mutually exclusive")
+
+    def is_empty(self) -> bool:
+        """True iff the plan injects nothing: the runner installs no
+        injector and the run is byte-identical to ``faults=None``."""
+        return (
+            self.loss_rate == 0.0
+            and self.gilbert_elliott is None
+            and self.corrupt_rate == 0.0
+            and not self.link_downs
+            and not self.host_pauses
+            and not self.arbiter_blackouts
+            and not self.scripted
+        )
+
+    def wire_faults_active(self) -> bool:
+        """True iff any fault needs per-link wire taps (everything
+        except arbiter blackouts, which live above the fabric)."""
+        return (
+            self.loss_rate > 0.0
+            or self.gilbert_elliott is not None
+            or self.corrupt_rate > 0.0
+            or bool(self.link_downs)
+            or bool(self.host_pauses)
+            or bool(self.scripted)
+        )
+
+    def models_link(self, name: str) -> bool:
+        """Does the stochastic loss/corruption model apply to ``name``?"""
+        return self.loss_links is None or name in self.loss_links
+
+
+def parse_fault_plan(text: str, seed: int = 0) -> FaultPlan:
+    """Parse the CLI ``--faults`` spec string into a :class:`FaultPlan`.
+
+    The spec is comma-separated clauses::
+
+        loss=0.01                      Bernoulli loss on every link
+        ge=0.05:0.3                    Gilbert-Elliott p_enter:p_exit
+        ge=0.05:0.3:0.001:0.5          ... :loss_good:loss_bad
+        corrupt=0.001                  corruption (disables the pool)
+        links=tor0.up.c0+tor0.up.c1    restrict loss/corrupt to links
+        down=tor0.up.c1@0.001:0.002    link down over [t1, t2)
+        down=tor0.up.c1@0.001          ... forever
+        pause=3@0.001:0.002            host 3 off the network
+        blackout=0:0.0005              Fastpass arbiter outage
+        drop=rts:1                     scripted: drop 1 RTS (at hop 1)
+        drop=data:2:5                  ... skip 5 DATA, drop next 2
+
+    Example: ``--faults loss=0.01,down=tor0.up.c1@0.001:0.002``.
+    """
+    loss_rate = 0.0
+    ge: Optional[GilbertElliott] = None
+    corrupt = 0.0
+    links: Optional[Tuple[str, ...]] = None
+    downs = []
+    pauses = []
+    blackouts = []
+    scripted = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if "=" not in clause:
+            raise ValueError(f"bad --faults clause {clause!r}: expected key=value")
+        key, _, value = clause.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        try:
+            if key == "loss":
+                loss_rate = float(value)
+            elif key == "ge":
+                parts = [float(p) for p in value.split(":")]
+                if len(parts) == 2:
+                    ge = GilbertElliott(parts[0], parts[1])
+                elif len(parts) == 4:
+                    ge = GilbertElliott(parts[0], parts[1], parts[2], parts[3])
+                else:
+                    raise ValueError("ge takes 2 or 4 colon-separated floats")
+            elif key == "corrupt":
+                corrupt = float(value)
+            elif key == "links":
+                links = tuple(value.split("+"))
+            elif key == "down":
+                link, _, window = value.partition("@")
+                if not window:
+                    raise ValueError("down needs link@t1[:t2]")
+                times = window.split(":")
+                down_at = float(times[0])
+                up_at = float(times[1]) if len(times) > 1 else float("inf")
+                downs.append(LinkDown(link=link, down_at=down_at, up_at=up_at))
+            elif key == "pause":
+                host, _, window = value.partition("@")
+                t1, _, t2 = window.partition(":")
+                pauses.append(
+                    HostPause(host=int(host), pause_at=float(t1), resume_at=float(t2))
+                )
+            elif key == "blackout":
+                t1, _, t2 = value.partition(":")
+                blackouts.append(ArbiterBlackout(start=float(t1), end=float(t2)))
+            elif key == "drop":
+                parts = value.split(":")
+                scripted.append(
+                    ScriptedDrop(
+                        ptype=parts[0],
+                        count=int(parts[1]) if len(parts) > 1 else 1,
+                        skip=int(parts[2]) if len(parts) > 2 else 0,
+                        hop=1,
+                    )
+                )
+            else:
+                raise ValueError(f"unknown --faults key {key!r}")
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"bad --faults clause {clause!r}: {exc}") from None
+    return FaultPlan(
+        loss_rate=loss_rate,
+        gilbert_elliott=ge,
+        corrupt_rate=corrupt,
+        loss_links=links,
+        link_downs=tuple(downs),
+        host_pauses=tuple(pauses),
+        arbiter_blackouts=tuple(blackouts),
+        scripted=tuple(scripted),
+        seed=seed,
+    )

@@ -165,6 +165,11 @@ class FatTreeFabric:
         self.dropped_packets: List[Packet] = []
         self.keep_dropped = False
         self.drop_hook = None
+        # Injected-fault ledger, mirroring Fabric (see repro.faults).
+        self.fault_drops_by_hop: Dict[int, int] = {h: 0 for h in FAT_TREE_HOP_NAMES}
+        self.fault_drops_total = 0
+        self.fault_drops_by_reason: Dict[str, int] = {}
+        self.fault_drop_hook = None
 
         cfg = config
         half = cfg.half
@@ -317,6 +322,14 @@ class FatTreeFabric:
             self.dropped_packets.append(pkt)
         if self.drop_hook is not None:
             self.drop_hook(pkt, hop_index)
+
+    def record_fault_drop(self, pkt: Packet, hop_index: int, reason: str = "fault") -> None:
+        """Ledger one injected drop (see :meth:`Fabric.record_fault_drop`)."""
+        self.fault_drops_by_hop[hop_index] = self.fault_drops_by_hop.get(hop_index, 0) + 1
+        self.fault_drops_total += 1
+        self.fault_drops_by_reason[reason] = self.fault_drops_by_reason.get(reason, 0) + 1
+        if self.fault_drop_hook is not None:
+            self.fault_drop_hook(pkt, hop_index)
 
     def host(self, host_id: int) -> Host:
         return self.hosts[host_id]

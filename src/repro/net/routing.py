@@ -57,6 +57,28 @@ def make_tor_route(
     # wrapper frames per sprayed packet.
     randrange = rng.randbelow
 
+    # Live uplink state, mutable so the fault layer can exclude dead
+    # links (`state` = [candidate count, sole/fallback port]).  With
+    # every link up, `live` is `up_ports` itself and the spray draw
+    # stream is untouched.  With no live uplink at all, packets fall
+    # back to the first (dead) uplink, whose tap black-holes them.
+    live: List[Port] = list(up_ports)
+    state: List[object] = [n_up, up0]
+
+    def set_live_uplinks(ports) -> None:
+        alive_set = set(id(p) for p in ports)
+        alive = [p for p in up_ports if id(p) in alive_set]
+        live[:] = alive
+        if not alive:
+            state[0] = 1
+            state[1] = up0
+        else:
+            state[0] = len(alive)
+            state[1] = alive[0]
+
+    def live_uplinks() -> List[Port]:
+        return list(live)
+
     if n_hosts is not None:
         # Dense precomputed table: down_ports holds exactly this rack's
         # hosts, so membership doubles as the locality test.
@@ -66,13 +88,16 @@ def make_tor_route(
             port = local[pkt.dst]
             if port is not None:
                 return port
-            if n_up == 1:
-                return up0
+            n = state[0]
+            if n == 1:
+                return state[1]
             if spray:
-                return up_ports[randrange(n_up)]
+                return live[randrange(n)]
             fid = pkt.flow.fid if pkt.flow is not None else pkt.seq
-            return up_ports[hash(fid) % n_up]
+            return live[hash(fid) % n]
 
+        route.set_live_uplinks = set_live_uplinks
+        route.live_uplinks = live_uplinks
         return route
 
     lazy: Dict[int, Optional[Port]] = {}
@@ -86,13 +111,16 @@ def make_tor_route(
             lazy[dst] = port
         if port is not None:
             return port
-        if n_up == 1:
-            return up0
+        n = state[0]
+        if n == 1:
+            return state[1]
         if spray:
-            return up_ports[randrange(n_up)]
+            return live[randrange(n)]
         fid = pkt.flow.fid if pkt.flow is not None else pkt.seq
-        return up_ports[hash(fid) % n_up]
+        return live[hash(fid) % n]
 
+    route.set_live_uplinks = set_live_uplinks
+    route.live_uplinks = live_uplinks
     return route
 
 

@@ -129,6 +129,13 @@ class Fabric:
         self.dropped_packets: List[Packet] = []
         self.keep_dropped = False  # tests can flip this on
         self.drop_hook: Optional[Callable[[Packet, int], None]] = None
+        # Injected-fault drops (repro.faults) are ledgered separately
+        # from the congestion drops above so golden digests and the
+        # Fig. 5e/f drop accounting are untouched by fault plans.
+        self.fault_drops_by_hop: Dict[int, int] = {1: 0, 2: 0, 3: 0, 4: 0}
+        self.fault_drops_total = 0
+        self.fault_drops_by_reason: Dict[str, int] = {}
+        self.fault_drop_hook: Optional[Callable[[Packet, int], None]] = None
 
         cfg = config
         prop = cfg.propagation_delay
@@ -225,6 +232,14 @@ class Fabric:
         if self.drop_hook is not None:
             self.drop_hook(pkt, hop_index)
 
+    def record_fault_drop(self, pkt: Packet, hop_index: int, reason: str = "fault") -> None:
+        """Ledger one injected drop (loss model, dead link, scripted)."""
+        self.fault_drops_by_hop[hop_index] = self.fault_drops_by_hop.get(hop_index, 0) + 1
+        self.fault_drops_total += 1
+        self.fault_drops_by_reason[reason] = self.fault_drops_by_reason.get(reason, 0) + 1
+        if self.fault_drop_hook is not None:
+            self.fault_drop_hook(pkt, hop_index)
+
     # ------------------------------------------------------------------
     def host(self, host_id: int) -> Host:
         return self.hosts[host_id]
@@ -312,6 +327,9 @@ class Fabric:
         self.drops_by_hop = {1: 0, 2: 0, 3: 0, 4: 0}
         self.drops_total = 0
         self.dropped_packets = []
+        self.fault_drops_by_hop = {1: 0, 2: 0, 3: 0, 4: 0}
+        self.fault_drops_total = 0
+        self.fault_drops_by_reason = {}
         for port in self.all_ports():
             port.bytes_sent = 0
             port.pkts_sent = 0

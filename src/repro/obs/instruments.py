@@ -55,6 +55,8 @@ def register_run_instruments(
             lambda h=hop: ctx.fabric.drops_by_hop.get(h, 0),
             hop=hop,
         )
+    if ctx.faults is not None:
+        _register_faults(registry, ctx)
     if config.sample_protocols:
         for host in ctx.fabric.hosts:
             agent = host.agent
@@ -65,6 +67,22 @@ def register_run_instruments(
         if shared_register is not None:
             shared_register(registry)
     return registry
+
+
+def _register_faults(registry: "InstrumentRegistry", ctx: "SimContext") -> None:
+    """Fault-layer gauges: per-hop injected drops from the fabric's
+    separate fault ledger plus the injector's own counters
+    (``fault.drops{reason=}``, ``fault.links_down``, ...)."""
+    fabric = ctx.fabric
+    for hop in sorted(getattr(fabric, "fault_drops_by_hop", {})):
+        registry.gauge(
+            "fault.drops_by_hop",
+            lambda h=hop: fabric.fault_drops_by_hop.get(h, 0),
+            hop=hop,
+        )
+    register = getattr(ctx.faults, "register_instruments", None)
+    if register is not None:
+        register(registry)
 
 
 def _register_collector(registry: "InstrumentRegistry", collector) -> None:

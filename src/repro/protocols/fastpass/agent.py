@@ -40,6 +40,7 @@ class _SrcFlow:
         "done",
         "wasted_slots",
         "last_activity",
+        "slots_pending",
     )
 
     def __init__(self, flow: Flow) -> None:
@@ -54,6 +55,7 @@ class _SrcFlow:
         self.done = False
         self.wasted_slots = 0
         self.last_activity = 0.0  # last send or ACK; gates loss recovery
+        self.slots_pending = 0  # allocated slots not yet fired
 
     def next_to_send(self) -> Optional[int]:
         while self.rtx:
@@ -88,6 +90,7 @@ class FastpassAgent(TransportAgent):
         self.src_flows: Dict[int, _SrcFlow] = {}
         self.dst_flows: Dict[int, _DstFlow] = {}
         self.finished_rx: Set[int] = set()
+        self.requests_retried = 0  # lost-REQUEST recoveries (fault runs)
 
     def register_instruments(self, registry) -> None:
         """Per-host flow state as pull-based gauges (the arbiter
@@ -104,8 +107,19 @@ class FastpassAgent(TransportAgent):
         if flow.fid in self.src_flows:
             raise ValueError(f"duplicate flow id {flow.fid}")
         self.collector.flow_arrived(flow, self.env.now)
-        self.src_flows[flow.fid] = _SrcFlow(flow)
+        state = _SrcFlow(flow)
+        state.last_activity = self.env.now
+        self.src_flows[flow.fid] = state
         self._send_request(flow, flow.n_pkts)
+        if self.ctx.faults is not None:
+            # Under fault injection the REQUEST itself can be lost (an
+            # arbiter blackout), so the recovery watchdog must run from
+            # flow start, not from the first transmitted slot.  Gated on
+            # active faults because the extra timer events would change
+            # fault-free event streams pinned by the golden digests.
+            state.recheck_timer = self.env.schedule_timer(
+                self.config.rto, self._recheck, flow.fid
+            )
 
     def _send_request(self, flow: Flow, demand_pkts: int) -> None:
         # Counted as a control packet; carried out-of-band to the arbiter
@@ -119,11 +133,18 @@ class FastpassAgent(TransportAgent):
     def on_schedule(self, allocations: List[Tuple[float, Flow]]) -> None:
         """Arbiter allocation arrived (exactly at the epoch boundary)."""
         for slot_time, flow in allocations:
+            state = self.src_flows.get(flow.fid)
+            if state is not None:
+                state.slots_pending += 1
             self.env.schedule_at(slot_time, self._send_slot, flow.fid)
 
     def _send_slot(self, fid: int) -> None:
         state = self.src_flows.get(fid)
-        if state is None or state.done:
+        if state is None:
+            return
+        if state.slots_pending > 0:
+            state.slots_pending -= 1
+        if state.done:
             return
         seq = state.next_to_send()
         if seq is None:
@@ -161,6 +182,17 @@ class FastpassAgent(TransportAgent):
             state.unacked_sent.clear()
             if lost:
                 self._send_request(state.flow, len(lost))
+        elif (
+            stale
+            and not state.ever_sent
+            and state.slots_pending == 0
+            and fid not in self.arbiter.demands
+        ):
+            # Nothing ever went out, no allocation is pending, and the
+            # arbiter has no record of us: the REQUEST was lost (e.g. to
+            # an arbiter blackout).  Re-report the full demand.
+            self.requests_retried += 1
+            self._send_request(state.flow, state.flow.n_pkts - len(state.acked))
         state.recheck_timer = self.env.schedule_timer(self.config.rto, self._recheck, fid)
 
     def _on_ack(self, pkt: Packet) -> None:

@@ -69,6 +69,12 @@ class FastpassArbiter:
         self.slots_allocated = 0
         self._compute_timer: Optional[list] = None
         self._last_epoch_index = -1  # highest epoch already allocated
+        # Fault-injection state (repro.faults arbiter blackouts): while
+        # offline the arbiter loses incoming REQUESTs and lets epochs
+        # elapse unallocated; sources recover via their RTO re-request.
+        self.offline = False
+        self.requests_lost = 0
+        self.epochs_blacked_out = 0
 
     def register_agent(self, host_id: int, agent) -> None:
         self.agents[host_id] = agent
@@ -78,6 +84,9 @@ class FastpassArbiter:
     # ------------------------------------------------------------------
     def request(self, flow: Flow, demand_pkts: int) -> None:
         if demand_pkts <= 0:
+            return
+        if self.offline:
+            self.requests_lost += 1
             return
         self.requests_received += 1
         self.collector.control_bytes_sent += CONTROL_BYTES
@@ -110,8 +119,21 @@ class FastpassArbiter:
             compute_at = now
         self._compute_timer = self.env.schedule_at(compute_at, self._compute_epoch, k)
 
+    def set_offline(self, offline: bool) -> None:
+        """Fault-layer entry point: start/end an arbiter blackout."""
+        self.offline = offline
+        if not offline:
+            # Back online: pick up whatever demand survived the outage.
+            self._schedule_next_compute()
+
     def _compute_epoch(self, epoch_index: int) -> None:
         self._compute_timer = None
+        if self.offline:
+            # The epoch elapses unserved; demands stay queued for the
+            # first compute after the blackout lifts.
+            self._last_epoch_index = epoch_index
+            self.epochs_blacked_out += 1
+            return
         if epoch_index <= self._last_epoch_index:
             # A same-timestamp race between request() and the pending
             # compute timer can schedule one epoch twice; allocate once.
@@ -172,6 +194,9 @@ class FastpassArbiter:
         )
         registry.gauge(
             "fastpass.arbiter.slots_allocated", lambda: self.slots_allocated
+        )
+        registry.gauge(
+            "fastpass.arbiter.requests_lost", lambda: self.requests_lost
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

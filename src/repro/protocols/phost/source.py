@@ -57,9 +57,16 @@ class PHostSource:
         state = SourceFlowState(flow, self.config.free_tokens)
         self.flows[flow.fid] = state
         self._send_rts(state)
-        if not state.has_free_token():
-            # No free budget (e.g. tenant-fair config): rely on grants;
-            # arm the lost-RTS recovery timer.
+        if not state.has_free_token() or self.agent.ctx.faults is not None:
+            # Arm the lost-RTS recovery timer.  Without a free budget
+            # (e.g. tenant-fair config) grants are the only way forward,
+            # so the timer is load-bearing even on a lossless fabric.
+            # With free tokens it matters only when the fabric can lose
+            # packets: if the RTS *and* every free-token data packet die,
+            # the destination never learns the flow exists and nothing
+            # else would ever fire again — so it is armed exactly when a
+            # fault plan is active, keeping fault-free runs on the
+            # golden event trajectory.
             self.env.schedule_timer(self.config.rts_retry, self._rts_check, flow.fid)
         self.agent.kick_nic()
 
@@ -73,9 +80,13 @@ class PHostSource:
         state = self.flows.get(fid)
         if state is None or state.done:
             return
-        if not state.got_token and not state.has_free_token():
+        if state.got_token:
+            return  # destination has state; reissue/ack paths take over
+        if not state.has_free_token():
             self._send_rts(state)
-            self.env.schedule_timer(self.config.rts_retry, self._rts_check, fid)
+        # Re-arm while no token has ever arrived, even if free budget
+        # remains: the budget may drain to silence between checks.
+        self.env.schedule_timer(self.config.rts_retry, self._rts_check, fid)
 
     # ------------------------------------------------------------------
     # Token receipt (Algorithm 1, "new token T received")

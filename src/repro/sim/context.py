@@ -54,6 +54,7 @@ class SimContext:
         "obs",
         "tuning",
         "pool",
+        "faults",
     )
 
     def __init__(
@@ -96,6 +97,12 @@ class SimContext:
         from repro.obs.registry import InstrumentRegistry
 
         self.obs = InstrumentRegistry()
+        #: The run's bound :class:`repro.faults.FaultInjector`, set by
+        #: the injector itself when the runner installs one for a
+        #: non-empty fault plan; None in fault-free runs.  Agents may
+        #: consult this to arm fault-only recovery timers without
+        #: perturbing fault-free event streams.
+        self.faults: Any = None
 
     # ------------------------------------------------------------------
     # Instrumentation

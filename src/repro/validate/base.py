@@ -100,6 +100,7 @@ class Auditor:
         self.checks: Dict[str, InvariantCheck] = {}
         self._order: List[Violation] = []  # all violations, in event order
         self._chained_drop_hook = None
+        self._chained_fault_hook = None
         #: Free-form end-of-run facts (not violations) the auditor wants
         #: to surface — e.g. queue high-water marks.  Filled by
         #: :meth:`finalize`; aggregated into ``AuditReport.context``.
@@ -124,6 +125,20 @@ class Auditor:
         self.on_drop(pkt, hop_index)
         if self._chained_drop_hook is not None:
             self._chained_drop_hook(pkt, hop_index)
+
+    def _tap_fault_drops(self) -> None:
+        """Chain onto the fabric's injected-fault drop hook (see
+        :meth:`repro.net.topology.Fabric.record_fault_drop`) so the
+        auditor can ledger fault-layer drops separately from
+        congestion drops."""
+        fabric = self.ctx.fabric
+        self._chained_fault_hook = getattr(fabric, "fault_drop_hook", None)
+        fabric.fault_drop_hook = self._on_fault_drop_hook
+
+    def _on_fault_drop_hook(self, pkt, hop_index: int) -> None:
+        self.on_fault_drop(pkt, hop_index)
+        if self._chained_fault_hook is not None:
+            self._chained_fault_hook(pkt, hop_index)
 
     # ------------------------------------------------------------------
     # Invariant bookkeeping
@@ -176,6 +191,9 @@ class Auditor:
         pass
 
     def on_drop(self, pkt, hop_index: int) -> None:
+        pass
+
+    def on_fault_drop(self, pkt, hop_index: int) -> None:
         pass
 
     # ------------------------------------------------------------------

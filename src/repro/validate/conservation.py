@@ -51,8 +51,13 @@ class ConservationAuditor(Auditor):
             "every dropped data packet was previously sent",
         )
         self._declare(
+            "fault-drop-accounted",
+            "every injected-dropped data packet was previously sent",
+        )
+        self._declare(
             "end-ledger",
-            "sent == delivered + duplicates + drops + in-flight (residual >= 0)",
+            "sent == delivered + duplicates + drops + fault drops + in-flight "
+            "(residual >= 0)",
         )
         self._declare(
             "port-ledger",
@@ -66,12 +71,14 @@ class ConservationAuditor(Auditor):
         self._deliver_events = 0
         self._dup_events = 0
         self._data_drops = 0
+        self._fault_data_drops = 0
         self._payload_bytes = 0
 
     # ------------------------------------------------------------------
     def bind(self, ctx) -> "ConservationAuditor":
         super().bind(ctx)
         self._tap_drops()
+        self._tap_fault_drops()
         return self
 
     # ------------------------------------------------------------------
@@ -188,25 +195,51 @@ class ConservationAuditor(Auditor):
                 fid=fid, seq=pkt.seq, hop=hop_index,
             )
 
+    def on_fault_drop(self, pkt, hop_index: int) -> None:
+        """Injected (fault-layer) drop: same sent-before check, but a
+        separate ledger column so fault plans do not disturb the
+        congestion-drop accounting."""
+        if pkt.ptype != PacketType.DATA:
+            return
+        if pkt.seq < 0:  # pFabric probes: header-only, never ledgered as sent
+            return
+        self._fault_data_drops += 1
+        self._checked("fault-drop-accounted")
+        fid = pkt.flow.fid if pkt.flow is not None else None
+        if fid is None or pkt.seq not in self._sent.get(fid, ()):
+            self._violate(
+                "fault-drop-accounted",
+                f"injected-dropped data packet (flow {fid}, seq {pkt.seq}) "
+                "was never sent",
+                fid=fid, seq=pkt.seq, hop=hop_index,
+            )
+
     # ------------------------------------------------------------------
     # End-of-run ledger reconciliation
     # ------------------------------------------------------------------
     def finalize(self, ctx) -> None:
         self._checked("end-ledger")
         residual = (
-            self._send_events - self._deliver_events - self._dup_events - self._data_drops
+            self._send_events - self._deliver_events - self._dup_events
+            - self._data_drops - self._fault_data_drops
         )
         if residual < 0:
             self._violate(
                 "end-ledger",
                 f"packet ledger negative: sent={self._send_events} < delivered="
                 f"{self._deliver_events} + duplicates={self._dup_events} "
-                f"+ drops={self._data_drops}",
+                f"+ drops={self._data_drops} + fault_drops={self._fault_data_drops}",
                 sent=self._send_events,
                 delivered=self._deliver_events,
                 duplicates=self._dup_events,
                 drops=self._data_drops,
+                fault_drops=self._fault_data_drops,
             )
+        if self._fault_data_drops:
+            self.context["fault_data_drops"] = self._fault_data_drops
+            reasons = getattr(ctx.fabric, "fault_drops_by_reason", None)
+            if reasons:
+                self.context["fault_drops_by_reason"] = dict(sorted(reasons.items()))
         collector = ctx.collector
         expected_bytes = sum(
             self._flows[fid].size_bytes for fid in self._completed if fid in self._flows

@@ -54,11 +54,13 @@ class TokenLedgerAuditor(Auditor):
         self._active = False
         self._minted = 0
         self._token_drops = 0
+        self._fault_token_drops = 0
 
     # ------------------------------------------------------------------
     def bind(self, ctx) -> "TokenLedgerAuditor":
         super().bind(ctx)
         self._tap_drops()
+        self._tap_fault_drops()
         from repro.protocols.phost.agent import PHostAgent
 
         self._active = any(
@@ -86,6 +88,13 @@ class TokenLedgerAuditor(Auditor):
     def on_drop(self, pkt, hop_index: int) -> None:
         if self._active and pkt.ptype == PacketType.TOKEN:
             self._token_drops += 1
+
+    def on_fault_drop(self, pkt, hop_index: int) -> None:
+        # Injected token drops leave the global ledger exact: a token
+        # lost to the fault layer was minted but never received.
+        if self._active and pkt.ptype == PacketType.TOKEN:
+            self._token_drops += 1
+            self._fault_token_drops += 1
 
     # ------------------------------------------------------------------
     # End-of-run ledger reconciliation
@@ -142,3 +151,5 @@ class TokenLedgerAuditor(Auditor):
                 minted=self._minted, received=received, stale=stale,
                 dropped=self._token_drops,
             )
+        if self._fault_token_drops:
+            self.context["fault_token_drops"] = self._fault_token_drops

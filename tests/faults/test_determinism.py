@@ -1,0 +1,113 @@
+"""Determinism contract of the fault layer.
+
+Three properties anchor the whole design:
+
+1. the same :class:`FaultPlan` + fault seed replays byte-identically
+   (same ``run_digest`` across repeats);
+2. an *empty* plan is indistinguishable from no plan at all — digests
+   equal the committed goldens and ``events_processed`` matches exactly
+   (the runner installs no injector for empty plans);
+3. each fault knob is individually inert at zero, and faults that do
+   not apply to a protocol (an arbiter blackout under pHost) leave the
+   run on the golden trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.defaults import SCALES, make_spec
+from repro.experiments.runner import run_experiment, run_incast
+from repro.faults import ArbiterBlackout, FaultPlan, GilbertElliott, LinkDown
+from repro.validate import incast_digest, run_digest
+
+pytestmark = pytest.mark.faults
+
+GOLDEN_PATH = Path(__file__).parent.parent / "validate" / "golden_digests.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+RICH_PLAN = FaultPlan(
+    gilbert_elliott=GilbertElliott(0.05, 0.3),
+    link_downs=(LinkDown("tor1.up.c1", down_at=20e-6, up_at=120e-6),),
+    seed=11,
+)
+
+
+def _fig3_tiny(faults=None):
+    return run_experiment(make_spec("phost", "websearch", "tiny", seed=42, faults=faults))
+
+
+def _fig9c_tiny(faults=None):
+    return run_incast(
+        "phost",
+        n_senders=9,
+        total_bytes=SCALES["tiny"].incast_bytes,
+        n_requests=SCALES["tiny"].incast_requests,
+        topology=SCALES["tiny"].topology,
+        seed=42,
+        faults=faults,
+    )
+
+
+# ----------------------------------------------------------------------
+# Same plan + seed => identical trajectory
+# ----------------------------------------------------------------------
+
+def test_rich_plan_replays_byte_identically():
+    a = _fig3_tiny(RICH_PLAN)
+    b = _fig3_tiny(RICH_PLAN)
+    assert run_digest(a) == run_digest(b)
+    assert a.events_processed == b.events_processed
+    assert a.fault_drops == b.fault_drops > 0
+
+
+def test_fault_seed_changes_draws_not_structure():
+    a = _fig3_tiny(FaultPlan(loss_rate=0.01, seed=1))
+    b = _fig3_tiny(FaultPlan(loss_rate=0.01, seed=2))
+    # Different fault seeds lose different packets...
+    assert run_digest(a) != run_digest(b)
+    # ...but both runs still deliver the whole workload.
+    assert a.n_completed == a.n_flows
+    assert b.n_completed == b.n_flows
+
+
+# ----------------------------------------------------------------------
+# Empty plan == committed goldens
+# ----------------------------------------------------------------------
+
+def test_empty_plan_matches_fig3_golden():
+    baseline = _fig3_tiny(None)
+    empty = _fig3_tiny(FaultPlan())
+    assert run_digest(empty) == GOLDENS["fig3-tiny-phost-websearch-seed42"]
+    assert empty.events_processed == baseline.events_processed
+    assert empty.fault_drops == 0
+
+
+def test_empty_plan_matches_fig9c_golden():
+    empty = _fig9c_tiny(FaultPlan())
+    assert incast_digest(empty) == GOLDENS["fig9c-tiny-phost-incast9-seed42"]
+
+
+# ----------------------------------------------------------------------
+# Individually zeroed / inapplicable knobs are inert
+# ----------------------------------------------------------------------
+
+def test_zeroed_knobs_install_nothing():
+    plan = FaultPlan(loss_rate=0.0, corrupt_rate=0.0, link_downs=(),
+                     host_pauses=(), arbiter_blackouts=(), scripted=(), seed=99)
+    assert plan.is_empty()
+    result = _fig3_tiny(plan)
+    assert run_digest(result) == GOLDENS["fig3-tiny-phost-websearch-seed42"]
+
+
+def test_blackout_is_inert_without_an_arbiter():
+    # A non-empty plan installs the injector, but an arbiter blackout
+    # has nothing to act on under pHost: the trajectory must stay on
+    # the golden digest (no taps, no extra events beyond none).
+    plan = FaultPlan(arbiter_blackouts=(ArbiterBlackout(0.0, 100e-6),))
+    result = _fig3_tiny(plan)
+    assert run_digest(result) == GOLDENS["fig3-tiny-phost-websearch-seed42"]
+    assert result.fault_drops == 0

@@ -1,0 +1,118 @@
+"""FaultPlan validation, emptiness semantics, and the CLI spec parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    ArbiterBlackout,
+    FaultPlan,
+    GilbertElliott,
+    HostPause,
+    LinkDown,
+    ScriptedDrop,
+    parse_fault_plan,
+)
+from repro.net.packet import PacketType
+
+pytestmark = pytest.mark.faults
+
+
+# ----------------------------------------------------------------------
+# Field validation
+# ----------------------------------------------------------------------
+
+def test_empty_plan_is_empty():
+    assert FaultPlan().is_empty()
+    assert not FaultPlan().wire_faults_active()
+
+
+def test_zeroed_knobs_are_inert():
+    # Explicit zeros must behave exactly like the defaults.
+    plan = FaultPlan(loss_rate=0.0, corrupt_rate=0.0, link_downs=(),
+                     host_pauses=(), arbiter_blackouts=(), scripted=())
+    assert plan.is_empty()
+    assert plan == FaultPlan()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"loss_rate": -0.1},
+    {"loss_rate": 1.0},
+    {"corrupt_rate": 1.5},
+    {"loss_rate": 0.1, "gilbert_elliott": GilbertElliott(0.1, 0.5)},
+])
+def test_bad_plan_rejected(kwargs):
+    with pytest.raises(ValueError):
+        FaultPlan(**kwargs)
+
+
+def test_ge_validation():
+    with pytest.raises(ValueError):
+        GilbertElliott(0.0, 0.5)  # p_enter must be > 0
+    with pytest.raises(ValueError):
+        GilbertElliott(0.1, 0.5, loss_bad=1.5)
+    ge = GilbertElliott(0.1, 0.3)
+    assert ge.stationary_bad == pytest.approx(0.25)
+    assert ge.mean_loss == pytest.approx(0.25)  # loss_bad defaults to 1
+
+
+def test_outage_validation():
+    with pytest.raises(ValueError):
+        LinkDown("h0.nic", down_at=0.5, up_at=0.5)
+    with pytest.raises(ValueError):
+        HostPause(host=-1, pause_at=0.0, resume_at=1.0)
+    with pytest.raises(ValueError):
+        ArbiterBlackout(start=1.0, end=0.5)
+    with pytest.raises(ValueError):
+        ScriptedDrop(ptype="no-such-type")
+    assert ScriptedDrop(ptype="rts").packet_type is PacketType.RTS
+
+
+def test_plan_coerces_lists_and_freezes():
+    # Lists coerce to tuples so equal plans repr (and hash for the
+    # figure memoizer) identically.
+    a = FaultPlan(link_downs=[LinkDown("h0.nic", 0.0)])
+    b = FaultPlan(link_downs=(LinkDown("h0.nic", 0.0),))
+    assert a == b and repr(a) == repr(b)
+    with pytest.raises(Exception):
+        a.loss_rate = 0.5  # frozen
+
+
+def test_models_link_restriction():
+    plan = FaultPlan(loss_rate=0.01, loss_links=("tor0.up.c0",))
+    assert plan.models_link("tor0.up.c0")
+    assert not plan.models_link("h3.nic")
+    assert FaultPlan(loss_rate=0.01).models_link("anything")
+
+
+# ----------------------------------------------------------------------
+# CLI spec parser
+# ----------------------------------------------------------------------
+
+def test_parse_full_spec():
+    plan = parse_fault_plan(
+        "loss=0.01, links=tor0.up.c0+tor0.up.c1, "
+        "down=tor0.up.c1@0.001:0.002, pause=3@0.001:0.002, "
+        "blackout=0:0.0005, drop=rts:2:1",
+        seed=7,
+    )
+    assert plan.loss_rate == 0.01
+    assert plan.loss_links == ("tor0.up.c0", "tor0.up.c1")
+    assert plan.link_downs == (LinkDown("tor0.up.c1", 0.001, 0.002),)
+    assert plan.host_pauses == (HostPause(3, 0.001, 0.002),)
+    assert plan.arbiter_blackouts == (ArbiterBlackout(0.0, 0.0005),)
+    assert plan.scripted == (ScriptedDrop("rts", count=2, skip=1, hop=1),)
+    assert plan.seed == 7
+
+
+def test_parse_ge_and_down_forever():
+    plan = parse_fault_plan("ge=0.05:0.3:0.001:0.5, down=h0.nic@0.001")
+    assert plan.gilbert_elliott == GilbertElliott(0.05, 0.3, 0.001, 0.5)
+    assert plan.link_downs[0].up_at == float("inf")
+
+
+def test_parse_empty_and_errors():
+    assert parse_fault_plan("").is_empty()
+    for bad in ("loss", "wat=1", "ge=0.1", "down=h0.nic", "loss=2.0"):
+        with pytest.raises(ValueError):
+            parse_fault_plan(bad)
