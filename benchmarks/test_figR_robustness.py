@@ -2,8 +2,9 @@
 
 The paper's fabric only loses packets to queue overflow; fig-R stresses
 the recovery machinery instead: Bernoulli wire loss at two rates plus
-one and two failed ToR uplinks, across all three protocols (WebSearch,
-default config).  The headline assertion is the pHost robustness claim
+one and two failed ToR uplinks, across the three paper protocols plus
+the repository-added DCTCP baseline (WebSearch, default config).  The
+headline assertion is the pHost robustness claim
 generalized: every protocol still completes 100% of the workload, loss
 costs tail slowdown, and link failures cost almost nothing because
 packet spraying excludes dead uplinks.
@@ -22,7 +23,7 @@ def _assert_robust(result):
         assert row["completion"] == 1.0, (
             f"{row['protocol']} lost flows under {row['scenario']}"
         )
-    for protocol in ("phost", "pfabric", "fastpass"):
+    for protocol in ("phost", "pfabric", "fastpass", "dctcp"):
         base = result.row_where(scenario="baseline", protocol=protocol)
         lossy = result.row_where(scenario="loss-1%", protocol=protocol)
         # Loss is recovered, not free: retransmission timers cost tail
@@ -50,7 +51,7 @@ def test_figR_smoke(smoke_regen):
 
 @pytest.mark.smoke
 @pytest.mark.faults
-@pytest.mark.parametrize("protocol", ["phost", "pfabric", "fastpass"])
+@pytest.mark.parametrize("protocol", ["phost", "pfabric", "fastpass", "dctcp"])
 def test_one_percent_loss_completes_with_clean_audits(protocol):
     """The acceptance bar: 1% random loss, full completion, and the
     conservation + token ledgers balance with injected drops accounted

@@ -58,7 +58,7 @@ REGRESSION_FACTOR = 1.25
 #: The headline instance for the regression gate.
 SMOKE_INSTANCE = "fig3-phost"
 
-PROTOCOLS = ("phost", "pfabric", "fastpass")
+PROTOCOLS = ("phost", "pfabric", "fastpass", "dctcp")
 SIZE_TO_SCALE = {"small": "tiny", "medium": "bench"}
 
 
@@ -259,6 +259,8 @@ def main(argv=None) -> int:
             golden_key = {
                 "fig3-phost": "fig3-tiny-phost-websearch-seed42",
                 "fig9c-phost": "fig9c-tiny-phost-incast9-seed42",
+                "fig3-dctcp": "fig3-tiny-dctcp-websearch-seed42",
+                "fig9c-dctcp": "fig9c-tiny-dctcp-incast9-seed42",
             }.get(name)
         if golden_key and golden_key in goldens:
             ok = goldens[golden_key] == digest
@@ -307,7 +309,11 @@ def main(argv=None) -> int:
                     "scale": args.scale,
                     "python": report["python"],
                     "instances": {
-                        k: {"wall_seconds": v["wall_seconds"]}
+                        k: (
+                            {"wall_seconds": v["wall_seconds"], "events": v["events"]}
+                            if "events" in v
+                            else {"wall_seconds": v["wall_seconds"]}
+                        )
                         for k, v in report["instances"].items()
                     },
                 },
@@ -325,12 +331,21 @@ def main(argv=None) -> int:
             failures.append(
                 f"--check needs {SMOKE_INSTANCE} in both the run and the baseline"
             )
-        elif row["wall_seconds"] > prev["wall_seconds"] * REGRESSION_FACTOR:
-            failures.append(
-                f"{SMOKE_INSTANCE} regressed: {row['wall_seconds']:.3f}s vs "
-                f"baseline {prev['wall_seconds']:.3f}s "
-                f"(> {REGRESSION_FACTOR:.0%})"
-            )
+        else:
+            if row["wall_seconds"] > prev["wall_seconds"] * REGRESSION_FACTOR:
+                failures.append(
+                    f"{SMOKE_INSTANCE} regressed: {row['wall_seconds']:.3f}s vs "
+                    f"baseline {prev['wall_seconds']:.3f}s "
+                    f"(> {REGRESSION_FACTOR:.0%})"
+                )
+            # The event-count pin: wall clock is machine-dependent but
+            # the number of simulator events is not.  Any drift means the
+            # behaviour changed, which a perf PR must never do silently.
+            if "events" in prev and row.get("events") != prev["events"]:
+                failures.append(
+                    f"{SMOKE_INSTANCE} event count drifted: "
+                    f"{row.get('events')} vs pinned {prev['events']}"
+                )
 
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)

@@ -1,0 +1,56 @@
+"""Dataplane registry: name -> :class:`~repro.dataplane.program.DataplaneProgram`.
+
+Mirrors :mod:`repro.protocols.registry`: the experiment runner resolves
+programs by name ("commodity", "pfabric", "dctcp"); external code can
+register additional programs with :func:`register_dataplane` and select
+them per run via ``ExperimentSpec.dataplane`` or the CLI's
+``--dataplane`` flag (``--list-dataplanes`` shows what is installed).
+
+Programs are stateless policy singletons (per-port state lives in each
+:class:`~repro.dataplane.program.ProgramQueue`), so registering an
+instance once and sharing it across runs is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dataplane.program import DataplaneProgram
+
+__all__ = ["get_dataplane", "register_dataplane", "available_dataplanes"]
+
+_REGISTRY: Dict[str, DataplaneProgram] = {}
+
+
+def register_dataplane(program: DataplaneProgram) -> None:
+    """Add (or replace) a program in the registry (keyed by its name)."""
+    _REGISTRY[program.name] = program
+
+
+def _ensure_builtins() -> None:
+    if _REGISTRY:
+        return
+    from repro.dataplane.programs import (
+        CommodityProgram,
+        DctcpEcnProgram,
+        PFabricProgram,
+    )
+
+    for program in (CommodityProgram(), PFabricProgram(), DctcpEcnProgram()):
+        register_dataplane(program)
+
+
+def get_dataplane(name: str) -> DataplaneProgram:
+    """Look a program up by name; raises ValueError for unknown names."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataplane {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_dataplanes() -> List[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)

@@ -48,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--all", action="store_true", help="run every figure")
     mode.add_argument("--list", action="store_true", help="list available figures")
     mode.add_argument(
+        "--list-protocols",
+        action="store_true",
+        help="list registered transport protocols (repro.protocols registry)",
+    )
+    mode.add_argument(
+        "--list-dataplanes",
+        action="store_true",
+        help="list registered dataplane programs (repro.dataplane registry)",
+    )
+    mode.add_argument(
         "--run",
         nargs=2,
         metavar=("PROTOCOL", "WORKLOAD"),
@@ -98,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--flows", type=int, default=None, help="flow count for --run")
     parser.add_argument(
         "--protocol", default="phost", help="protocol for --replay (default phost)"
+    )
+    parser.add_argument(
+        "--dataplane",
+        default=None,
+        metavar="PROGRAM",
+        help=(
+            "override the dataplane program for --run/--replay (a "
+            "repro.dataplane registry name; see --list-dataplanes); "
+            "forces both switch and NIC queues onto that program"
+        ),
     )
     parser.add_argument(
         "--values",
@@ -324,6 +344,58 @@ def _figure_dict(result: FigureResult) -> dict:
 # Modes
 # ----------------------------------------------------------------------
 
+def _list_protocols(args: argparse.Namespace) -> int:
+    """Registry-sourced protocol listing (never a hardcoded choice list)."""
+    from repro.protocols.registry import available_protocols, get_protocol
+
+    rows = []
+    for name in available_protocols():
+        spec = get_protocol(name)
+        rows.append(
+            {
+                "protocol": name,
+                "switch_dataplane": spec.switch_dataplane,
+                "host_dataplane": spec.host_dataplane,
+                "legacy_queue_factories": bool(
+                    spec.switch_queue_factory or spec.host_queue_factory
+                ),
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        extra = " (legacy queue factories)" if row["legacy_queue_factories"] else ""
+        print(
+            f"{row['protocol']:10s} switch={row['switch_dataplane']} "
+            f"host={row['host_dataplane']}{extra}"
+        )
+    return 0
+
+
+def _list_dataplanes(args: argparse.Namespace) -> int:
+    """Registry-sourced dataplane-program listing."""
+    from repro.dataplane import available_dataplanes, get_dataplane
+
+    rows = []
+    for name in available_dataplanes():
+        program = get_dataplane(name)
+        doc = (type(program).__doc__ or "").strip().splitlines()
+        rows.append(
+            {
+                "dataplane": name,
+                "class": type(program).__name__,
+                "summary": doc[0] if doc else "",
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        print(f"{row['dataplane']:10s} {row['class']:18s} {row['summary']}")
+    return 0
+
+
 def _run_single(args: argparse.Namespace) -> int:
     protocol, workload = args.run
     overrides = dict(load=args.load, seed=args.seed)
@@ -331,6 +403,7 @@ def _run_single(args: argparse.Namespace) -> int:
         overrides["n_flows"] = args.flows
     spec = make_spec(protocol, workload, args.scale, **overrides)
     spec = spec.variant(
+        dataplane=args.dataplane,
         instruments=_audit_instruments(args),
         observability=_obs_config(args),
         faults=_fault_plan(args),
@@ -388,6 +461,7 @@ def _run_replay(args: argparse.Namespace) -> int:
         workload="fixed:1",  # ignored by run_flow_list
         n_flows=1,
         topology=preset.topology,
+        dataplane=args.dataplane,
         instruments=_audit_instruments(args),
         observability=_obs_config(args),
         faults=_fault_plan(args),
@@ -471,6 +545,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (ALL_FIGURES[name].__doc__ or "").strip().splitlines()[0]
             print(f"{name:7s} {doc}")
         return 0
+    if args.list_protocols:
+        return _list_protocols(args)
+    if args.list_dataplanes:
+        return _list_dataplanes(args)
     if args.run:
         return _run_single(args)
     if args.sweep:

@@ -26,9 +26,22 @@ from typing import Dict, Optional
 from repro.experiments.spec import ExperimentSpec
 from repro.net.topology import TopologyConfig
 
-__all__ = ["Scale", "SCALES", "make_spec", "PROTOCOLS", "WORKLOAD_NAMES", "DEFAULT_LOAD"]
+__all__ = [
+    "Scale",
+    "SCALES",
+    "make_spec",
+    "PROTOCOLS",
+    "EXTENDED_PROTOCOLS",
+    "WORKLOAD_NAMES",
+    "DEFAULT_LOAD",
+]
 
+#: The paper's three transports — the comparison every figure reproduces.
 PROTOCOLS = ("phost", "pfabric", "fastpass")
+#: The paper trio plus baselines added by this repository (currently
+#: DCTCP); the headline figures (fig3, fig9c, figR) carry these extra
+#: columns, the paper-only figures stay with the trio.
+EXTENDED_PROTOCOLS = PROTOCOLS + ("dctcp",)
 WORKLOAD_NAMES = ("websearch", "datamining", "imc10")
 DEFAULT_LOAD = 0.6
 

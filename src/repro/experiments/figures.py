@@ -16,7 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.experiments.defaults import PROTOCOLS, WORKLOAD_NAMES, SCALES, make_spec
+from repro.experiments.defaults import (
+    EXTENDED_PROTOCOLS,
+    PROTOCOLS,
+    SCALES,
+    WORKLOAD_NAMES,
+    make_spec,
+)
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import (
     run_experiment,
@@ -122,19 +128,22 @@ def fig2(scale: str = "bench", seed: int = 42) -> FigureResult:
 # ----------------------------------------------------------------------
 
 def fig3(scale: str = "bench", seed: int = 42) -> FigureResult:
-    """Mean slowdown of the three protocols across the three workloads
-    (0.6 load, 36kB buffers, all-to-all)."""
+    """Mean slowdown of the paper's protocols (plus the DCTCP baseline)
+    across the three workloads (0.6 load, 36kB buffers, all-to-all)."""
     result = FigureResult(
         figure="fig3",
         title="Mean slowdown across workloads (default config)",
-        columns=["workload"] + list(PROTOCOLS),
+        columns=["workload"] + list(EXTENDED_PROTOCOLS),
     )
     for workload in WORKLOAD_NAMES:
         row = {"workload": workload}
-        for protocol in PROTOCOLS:
+        for protocol in EXTENDED_PROTOCOLS:
             row[protocol] = _run(make_spec(protocol, workload, scale, seed=seed)).mean_slowdown()
         result.add_row(**row)
     result.notes.append("paper: pHost within ~4% of pFabric; Fastpass 1.3-4x worse")
+    result.notes.append(
+        "dctcp: repository-added ECN baseline (not in the paper's figure)"
+    )
     return result
 
 
@@ -486,15 +495,18 @@ def fig9c(scale: str = "bench", seed: int = 42) -> FigureResult:
     result = FigureResult(
         figure="fig9c",
         title=f"Incast TM: mean FCT (ms), {preset.incast_bytes/1e6:g}MB per request",
-        columns=["n_senders"] + list(PROTOCOLS),
+        columns=["n_senders"] + list(EXTENDED_PROTOCOLS),
     )
     for n in _incast_senders(preset):
         row = {"n_senders": n}
-        for protocol in PROTOCOLS:
+        for protocol in EXTENDED_PROTOCOLS:
             r = _incast(protocol, n, preset, seed)
             row[protocol] = r.mean_fct * 1e3
         result.add_row(**row)
     result.notes.append("paper: all protocols within ~7% of each other")
+    result.notes.append(
+        "dctcp: repository-added ECN baseline (not in the paper's figure)"
+    )
     return result
 
 
@@ -643,7 +655,7 @@ def figR(scale: str = "bench", seed: int = 42) -> FigureResult:
         ],
     )
     for name, plan in scenarios:
-        for protocol in PROTOCOLS:
+        for protocol in EXTENDED_PROTOCOLS:
             spec = make_spec(protocol, "websearch", scale, seed=seed, faults=plan)
             r = _run(spec)
             result.add_row(

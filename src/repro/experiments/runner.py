@@ -77,6 +77,39 @@ def _resolve_tm(spec: ExperimentSpec, n_hosts: int, rng: SeededRng):
     return AllToAll(n_hosts)
 
 
+def _resolve_dataplane(spec: ExperimentSpec, proto, tuning: SimTuning):
+    """(DataplaneBinding, switch queue factory, host queue factory).
+
+    Resolution order per side: the spec-level ``dataplane`` override,
+    then a legacy ``*_queue_factory`` callable on the protocol spec
+    (external registrants constructing queues directly), then the
+    protocol's declared program name.  The returned binding records
+    which programs ended up driving the fabric (None when both sides
+    came from legacy factories).
+    """
+    from repro.dataplane import DataplaneBinding, get_dataplane
+
+    fused = tuning.fused_dataplane
+    if spec.dataplane is not None:
+        program = get_dataplane(spec.dataplane)
+        binding = DataplaneBinding(switch=program, host=program, fused=fused)
+        factory = lambda cap: program.make_queue(cap, fused=fused)  # noqa: E731
+        return binding, factory, factory
+
+    def side(queue_factory, program_name):
+        if queue_factory is not None:
+            return None, queue_factory
+        program = get_dataplane(program_name)
+        return program, lambda cap: program.make_queue(cap, fused=fused)
+
+    switch_prog, switch_qf = side(proto.switch_queue_factory, proto.switch_dataplane)
+    host_prog, host_qf = side(proto.host_queue_factory, proto.host_dataplane)
+    binding = None
+    if switch_prog is not None and host_prog is not None:
+        binding = DataplaneBinding(switch=switch_prog, host=host_prog, fused=fused)
+    return binding, switch_qf, host_qf
+
+
 def build_simulation(spec: ExperimentSpec) -> SimContext:
     """Instantiate env + fabric + agents for a spec (no flows yet).
 
@@ -96,17 +129,19 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
     from repro.net.fattree import FatTreeConfig, FatTreeFabric
 
     fabric_cls = FatTreeFabric if isinstance(topo, FatTreeConfig) else Fabric
+    binding, switch_qf, host_qf = _resolve_dataplane(spec, proto, tuning)
     fabric = fabric_cls(
         env,
         topo,
         rng,
-        queue_factory=lambda cap: proto.switch_queue_factory(cap),
-        host_queue_factory=lambda cap: proto.host_queue_factory(cap),
+        queue_factory=switch_qf,
+        host_queue_factory=host_qf,
     )
     if not tuning.fused_ports:
         for port in fabric.all_ports():
             port.fused = False
     ctx = SimContext(env, rng, fabric, collector, tuning=tuning)
+    ctx.dataplane = binding
     if spec.protocol_config is not None:
         config = spec.protocol_config
         if hasattr(config, "resolve"):

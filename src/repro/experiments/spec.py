@@ -49,6 +49,12 @@ class ExperimentSpec:
         deadline_mean: Mean deadline slack in seconds.
         protocol_config: Optional protocol config override; objects with
             a ``resolve(topology)`` method are resolved automatically.
+        dataplane: Optional dataplane-program override (a
+            :mod:`repro.dataplane` registry name, e.g. "commodity",
+            "pfabric", "dctcp").  None (the default) uses the programs
+            the protocol's spec declares; a name forces *both* switch
+            and NIC queues onto that program for what-if runs (e.g.
+            pHost over a pFabric fabric).
         tenant_split: If set (0..1), flows are assigned tenant 0/1 with
             this probability of tenant 1 (Figure 11 uses explicit
             per-tenant specs instead).
@@ -97,6 +103,7 @@ class ExperimentSpec:
     with_deadlines: bool = False
     deadline_mean: float = 1000e-6
     protocol_config: Any = None
+    dataplane: Optional[str] = None
     tenant_split: Optional[float] = None
     stability_samples: int = 0
     max_sim_time: Optional[float] = None

@@ -128,6 +128,10 @@ class Packet:
         data_prio: pHost tokens: the priority band the granted data
             packet should use.
         expiry: pHost tokens: absolute time at which the token lapses.
+        ecn: ECN codepoint — 0 (not marked) or 1 (congestion
+            experienced).  Set by marking dataplane programs
+            (:class:`repro.dataplane.DctcpEcnProgram`) on data packets
+            and echoed back on ACKs by ECN-aware receivers.
         hops: Number of switch ports traversed so far (drop accounting).
         born: Time the packet was created (queueing-delay metrics).
     """
@@ -143,6 +147,7 @@ class Packet:
         "remaining",
         "data_prio",
         "expiry",
+        "ecn",
         "hops",
         "born",
         "payload",
@@ -169,6 +174,7 @@ class Packet:
         self.remaining = 0
         self.data_prio = 0
         self.expiry = 0.0
+        self.ecn = 0
         self.hops = 0
         self.born = born
         self.payload = None  # free-form (Fastpass schedules)

@@ -122,6 +122,7 @@ class PacketPool:
         pkt.remaining = 0
         pkt.data_prio = 0
         pkt.expiry = 0.0
+        pkt.ecn = 0
         pkt.hops = 0
         free.append(pkt)
         self.released += 1

@@ -26,9 +26,30 @@ from repro.net.packet import Packet
 
 __all__ = ["PriorityQueue", "PFabricQueue", "QueueFullError"]
 
+class _ReadOnlyDropList(list):
+    """The shared empty push() return, with the read-only contract
+    *enforced*: a caller appending to (or otherwise mutating) the
+    sentinel would silently corrupt every later "nothing dropped"
+    return, so every mutator raises instead.  Still a ``list`` subclass
+    — ``dropped == []``, truthiness, and iteration behave exactly like
+    the plain literal the hot path used before."""
+
+    __slots__ = ()
+
+    def _refuse(self, *args, **kwargs):
+        raise TypeError(
+            "push() returned the shared no-drop sentinel; it is read-only "
+            "(copy it with list(...) if you need to mutate)"
+        )
+
+    append = extend = insert = remove = clear = sort = reverse = _refuse
+    __setitem__ = __delitem__ = __iadd__ = __imul__ = _refuse
+    pop = _refuse
+
+
 #: Shared "nothing dropped" return — saves one list allocation per push
-#: on the hot path.  Callers treat push() results as read-only.
-_NO_DROP: List[Packet] = []
+#: on the hot path.  Read-only by construction (see _ReadOnlyDropList).
+_NO_DROP: List[Packet] = _ReadOnlyDropList()
 
 
 class QueueFullError(RuntimeError):

@@ -11,6 +11,12 @@ gauge set against its registry:
 * per-link utilization — ``link.util{hop=,port=}``, a rate gauge over
   ``bytes_sent`` deltas between consecutive snapshots;
 * per-hop drop totals — ``fabric.drops{hop=}``;
+* dataplane stage ledgers — run-level ``dataplane.<stage>`` totals over
+  every generic-engine port (classified / marked / admitted /
+  dropped_incoming / evicted / scheduled), plus per-port
+  ``dataplane.marked{hop=,port=}`` when port sampling is on.  Fused
+  reference queues carry no ledgers, so these only appear for runs on
+  the generic engine (e.g. DCTCP, or ``SimTuning(fused_dataplane=False)``);
 * protocol instruments — each agent's :meth:`register_instruments`
   (a no-op on the base class) plus shared state such as the Fastpass
   arbiter, both duck-typed so this module never imports protocols.
@@ -55,6 +61,7 @@ def register_run_instruments(
             lambda h=hop: ctx.fabric.drops_by_hop.get(h, 0),
             hop=hop,
         )
+    _register_dataplane(registry, ctx, sample_ports=config.sample_ports)
     if ctx.faults is not None:
         _register_faults(registry, ctx)
     if config.sample_protocols:
@@ -67,6 +74,41 @@ def register_run_instruments(
         if shared_register is not None:
             shared_register(registry)
     return registry
+
+
+def _register_dataplane(
+    registry: "InstrumentRegistry", ctx: "SimContext", *, sample_ports: bool
+) -> None:
+    """Stage-ledger gauges for generic-engine (:class:`ProgramQueue`)
+    ports; a no-op when every port runs a fused reference queue."""
+    engine_ports = [
+        port
+        for port in ctx.fabric.all_ports()
+        if getattr(port.queue, "state", None) is not None
+    ]
+    if not engine_ports:
+        return
+    states = [port.queue.state for port in engine_ports]
+    for stage in (
+        "classified",
+        "marked",
+        "admitted",
+        "dropped_incoming",
+        "evicted",
+        "scheduled",
+    ):
+        registry.gauge(
+            f"dataplane.{stage}",
+            lambda s=stage: sum(getattr(st, s) for st in states),
+        )
+    if sample_ports:
+        for port in engine_ports:
+            registry.gauge(
+                "dataplane.marked",
+                lambda st=port.queue.state: st.marked,
+                hop=port.hop_index,
+                port=port.name,
+            )
 
 
 def _register_faults(registry: "InstrumentRegistry", ctx: "SimContext") -> None:

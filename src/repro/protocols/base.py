@@ -101,14 +101,25 @@ class ProtocolSpec:
     ``config_factory(ctx)`` sees the substrate (env/rng/fabric/collector),
     ``shared_factory(ctx)`` additionally sees ``ctx.config``, and
     ``agent_factory(host, ctx)`` sees the fully-populated context.
+
+    Switch behaviour is named, not hardcoded: ``switch_dataplane`` /
+    ``host_dataplane`` select :class:`repro.dataplane.DataplaneProgram`
+    entries from the dataplane registry (the built-ins declare
+    "commodity" or "pfabric"; DCTCP declares "dctcp").  The legacy
+    ``*_queue_factory`` fields remain for external registrants that
+    construct queues directly — when set to a non-None callable they
+    take precedence over the program names, and an
+    ``ExperimentSpec.dataplane`` override trumps both.
     """
 
     name: str
     agent_factory: AgentFactory
     config_factory: ConfigFactory
-    switch_queue_factory: QueueFactory = priority_queue_factory
-    host_queue_factory: QueueFactory = priority_queue_factory
+    switch_queue_factory: Optional[QueueFactory] = None
+    host_queue_factory: Optional[QueueFactory] = None
     shared_factory: Optional[SharedFactory] = None
+    switch_dataplane: str = "commodity"
+    host_dataplane: str = "commodity"
 
     def build_config(self, ctx: SimContext) -> Any:
         return self.config_factory(ctx)

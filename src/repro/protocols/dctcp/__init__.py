@@ -1,0 +1,7 @@
+"""DCTCP: ECN-threshold marking in the fabric, gentle window cuts at
+the endpoint.  See :mod:`repro.protocols.dctcp.agent`."""
+
+from repro.protocols.dctcp.agent import DCTCP_SPEC, DCTCPAgent
+from repro.protocols.dctcp.config import DCTCPConfig
+
+__all__ = ["DCTCP_SPEC", "DCTCPAgent", "DCTCPConfig"]

@@ -1,41 +1,49 @@
-"""pFabric endpoint.
+"""DCTCP endpoint.
 
-The transport half is deliberately simple — the clever part of pFabric
-lives in :class:`repro.net.queues.PFabricQueue` (priority drop and
-starvation-avoidance dequeue), which this agent relies on at every hop
-*including its own NIC*.  The endpoint:
+The first transport landed *after* the dataplane refactor, and the
+proof that new protocol columns need only the two public registries:
 
-* pushes up to ``cwnd`` packets of each flow into the NIC queue, each
-  stamped with the flow's remaining un-ACKed packet count (the priority
-  the fabric schedules on — the paper's footnote 1);
-* receives a 40-byte ACK per delivered data packet (ACKs are stamped
-  remaining=0, so they are never dropped nor delayed behind data);
-* on a 45 us RTO, counts all unacked packets as lost and re-pushes
-  them, earliest first;
-* after several consecutive RTOs enters *probe mode* (pFabric §4.3):
-  one header-sized probe per RTO instead of a window of
-  retransmissions, resuming on the probe-ACK — so a congestion
-  pathology cannot trigger a retransmission storm.
+* the switch side is :class:`repro.dataplane.DctcpEcnProgram` — the
+  commodity pipeline plus ECN threshold marking — selected by name in
+  this module's :class:`~repro.protocols.base.ProtocolSpec`
+  (``switch_dataplane="dctcp"``); nothing inside ``repro.net`` or other
+  protocols' packages changes;
+* the endpoint below is plain window-based TCP machinery with DCTCP's
+  estimator: the receiver echoes each data packet's ECN codepoint on
+  its per-packet ACK, and the sender maintains
+  ``alpha <- (1 - g) * alpha + g * F`` over observation windows of one
+  cwnd of ACKs, cutting ``cwnd`` by ``alpha / 2`` when a window saw any
+  marks and growing additively otherwise.
+
+Deviations from the DCTCP paper, chosen to match this repository's
+existing endpoints: per-packet ACKs (no delayed-ACK coalescing — the
+pFabric/pHost endpoints ACK per packet too, so control overhead is
+comparable across columns), slow start replaced by a fixed initial
+window (as the pHost paper configures all its transports), and
+timeout recovery via resend-all-unacked (the pFabric endpoint's rule)
+with the window collapsed to ``min_cwnd``.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from math import ceil
 from typing import Deque, Dict, Optional, Set
 
 from repro.net.packet import Flow, Packet, PacketType
 from repro.protocols.base import ProtocolSpec, TransportAgent
-from repro.protocols.pfabric.config import PFabricConfig
+from repro.protocols.dctcp.config import DCTCPConfig
 from repro.sim.engine import EventLoop
 
-__all__ = ["PFabricAgent", "PFABRIC_SPEC"]
+__all__ = ["DCTCPAgent", "DCTCP_SPEC"]
 
-#: Sequence number used by probe packets (never a real data seq).
-PROBE_SEQ = -1
+#: Commodity band for DCTCP data (ACKs ride band 0, so they are never
+#: queued behind data — matching the other endpoints' control priority).
+DATA_BAND = 1
 
 
 class _SrcFlow:
-    """Source-side window/retransmission state for one flow."""
+    """Source-side window, estimator and retransmission state."""
 
     __slots__ = (
         "flow",
@@ -48,13 +56,14 @@ class _SrcFlow:
         "ever_sent",
         "rto_timer",
         "rto_scale",
-        "consecutive_timeouts",
-        "probing",
-        "probes_sent",
         "done",
+        "cwnd",
+        "alpha",
+        "window_acks",
+        "window_marks",
     )
 
-    def __init__(self, flow: Flow) -> None:
+    def __init__(self, flow: Flow, config: DCTCPConfig) -> None:
         self.flow = flow
         self.next_seq = 0
         self.acked: Set[int] = set()
@@ -65,13 +74,14 @@ class _SrcFlow:
         self.ever_sent: Set[int] = set()
         self.rto_timer: Optional[list] = None
         self.rto_scale = 1.0
-        self.consecutive_timeouts = 0
-        self.probing = False
-        self.probes_sent = 0
         self.done = False
+        # DCTCP estimator state.
+        self.cwnd = float(config.init_cwnd)
+        self.alpha = config.init_alpha
+        self.window_acks = 0   # ACKs seen in the current observation window
+        self.window_marks = 0  # of which carried the echoed CE bit
 
     def remaining(self) -> int:
-        """Un-ACKed packets — the pFabric priority value."""
         return self.flow.n_pkts - len(self.acked)
 
     def next_to_send(self) -> Optional[int]:
@@ -86,11 +96,6 @@ class _SrcFlow:
             return seq
         return None
 
-    def has_sendable(self) -> bool:
-        if any(seq not in self.acked for seq in self.rtx):
-            return True
-        return self.next_seq < self.flow.n_pkts
-
 
 class _DstFlow:
     """Receiver-side reassembly state for one flow."""
@@ -102,8 +107,8 @@ class _DstFlow:
         self.received: Set[int] = set()
 
 
-class PFabricAgent(TransportAgent):
-    """pFabric endpoint for one host (source + receiver roles)."""
+class DCTCPAgent(TransportAgent):
+    """DCTCP endpoint for one host (source + receiver roles)."""
 
     def __init__(self, host, ctx) -> None:
         super().__init__(host, ctx)
@@ -111,19 +116,33 @@ class PFabricAgent(TransportAgent):
         self.dst_flows: Dict[int, _DstFlow] = {}
         self.finished_rx: Set[int] = set()
         self.timeouts = 0
+        self.ce_echoes = 0       # marked ACKs seen (sender side)
+        self.ce_delivered = 0    # marked data packets seen (receiver side)
 
     def register_instruments(self, registry) -> None:
-        """Window/timeout state as pull-based gauges."""
+        """Estimator and window state as pull-based gauges."""
         host = f"h{self.host.node_id}"
         registry.gauge(
-            "pfabric.flows.src_active", lambda: len(self.src_flows), host=host
+            "dctcp.flows.src_active", lambda: len(self.src_flows), host=host
         )
         registry.gauge(
-            "pfabric.pkts.in_flight",
+            "dctcp.pkts.in_flight",
             lambda: sum(s.in_flight for s in self.src_flows.values()),
             src=host,
         )
-        registry.gauge("pfabric.timeouts", lambda: self.timeouts, host=host)
+        registry.gauge(
+            "dctcp.cwnd.sum",
+            lambda: sum(s.cwnd for s in self.src_flows.values()),
+            src=host,
+        )
+        registry.gauge(
+            "dctcp.alpha.max",
+            lambda: max((s.alpha for s in self.src_flows.values()), default=0.0),
+            src=host,
+        )
+        registry.gauge("dctcp.ecn.echoes", lambda: self.ce_echoes, host=host)
+        registry.gauge("dctcp.ecn.delivered", lambda: self.ce_delivered, host=host)
+        registry.gauge("dctcp.timeouts", lambda: self.timeouts, host=host)
 
     # ------------------------------------------------------------------
     # Source side
@@ -132,13 +151,13 @@ class PFabricAgent(TransportAgent):
         if flow.fid in self.src_flows:
             raise ValueError(f"duplicate flow id {flow.fid}")
         self.collector.flow_arrived(flow, self.env.now)
-        state = _SrcFlow(flow)
+        state = _SrcFlow(flow, self.config)
         self.src_flows[flow.fid] = state
         self._pump(state)
 
     def _pump(self, state: _SrcFlow) -> None:
-        """Fill the window: push packets into the NIC priority queue."""
-        while not state.done and state.in_flight < self.config.init_cwnd:
+        """Fill the window: push packets into the NIC queue."""
+        while not state.done and state.in_flight < int(state.cwnd):
             seq = state.next_to_send()
             if seq is None:
                 break
@@ -150,9 +169,8 @@ class PFabricAgent(TransportAgent):
         flow = state.flow
         now = self.env.now
         pkt = self.pool.data(
-            flow, seq, flow.src, flow.dst, flow.wire_bytes_of(seq), 1, now
+            flow, seq, flow.src, flow.dst, flow.wire_bytes_of(seq), DATA_BAND, now
         )
-        pkt.remaining = state.remaining()
         first_time = seq not in state.ever_sent
         state.ever_sent.add(seq)
         state.unacked_sent.add(seq)
@@ -174,59 +192,53 @@ class PFabricAgent(TransportAgent):
             return
         state.rto_timer = None
         self.timeouts += 1
-        state.consecutive_timeouts += 1
-        threshold = self.config.probe_after_timeouts
-        if threshold and state.consecutive_timeouts >= threshold:
-            # Probe mode (pFabric §4.3): stop blasting windows of
-            # retransmissions; one tiny probe per RTO until the path
-            # answers again.
-            state.probing = True
-            self._send_probe(state)
-            self._arm_rto(state)
-            return
-        # Everything outstanding is presumed lost; resend earliest first.
+        # TCP-style collapse; alpha is preserved (the estimator outlives
+        # the loss event) and the observation window restarts.
+        state.cwnd = float(self.config.min_cwnd)
+        state.window_acks = 0
+        state.window_marks = 0
         lost = sorted(state.unacked_sent - state.rtx_set)
         for seq in lost:
             state.rtx.append(seq)
             state.rtx_set.add(seq)
         state.in_flight = 0
-        state.rto_scale *= self.config.min_rto_backoff
+        state.rto_scale *= self.config.rto_backoff
         self._pump(state)
         if state.rto_timer is None and not state.done:
             self._arm_rto(state)
 
-    def _send_probe(self, state: _SrcFlow) -> None:
-        flow = state.flow
-        probe = self.pool.data(
-            flow, PROBE_SEQ, flow.src, flow.dst, 40, 1, self.env.now  # header-only
-        )
-        probe.remaining = state.remaining()
-        state.probes_sent += 1
-        self.host.send(probe)
+    def _update_estimator(self, state: _SrcFlow, marked: bool) -> None:
+        """One ACK's worth of DCTCP bookkeeping (paper §3.3)."""
+        state.window_acks += 1
+        if marked:
+            state.window_marks += 1
+        if state.window_acks < max(int(ceil(state.cwnd)), 1):
+            return
+        # Observation window complete: fold the marked fraction into
+        # alpha, then react once per window.
+        frac = state.window_marks / state.window_acks
+        g = self.config.gain
+        state.alpha = (1.0 - g) * state.alpha + g * frac
+        if state.window_marks:
+            state.cwnd = max(
+                float(self.config.min_cwnd), state.cwnd * (1.0 - state.alpha / 2.0)
+            )
+        else:
+            state.cwnd += 1.0
+        state.window_acks = 0
+        state.window_marks = 0
 
     def _on_ack(self, pkt: Packet) -> None:
         state = self.src_flows.get(pkt.flow.fid)
         if state is None or state.done:
             return
         seq = pkt.seq
-        state.consecutive_timeouts = 0
-        if seq == PROBE_SEQ:
-            # The path is alive again: leave probe mode and resume with
-            # a fresh round of retransmissions.
-            if state.probing:
-                state.probing = False
-                lost = sorted(state.unacked_sent - state.rtx_set)
-                for s in lost:
-                    state.rtx.append(s)
-                    state.rtx_set.add(s)
-                state.in_flight = 0
-                state.rto_scale = 1.0
-                self._pump(state)
-                self._arm_rto(state)
-            return
         if seq in state.acked:
             return
-        state.probing = False  # any data ACK proves the path is alive
+        marked = pkt.ecn != 0
+        if marked:
+            self.ce_echoes += 1
+        self._update_estimator(state, marked)
         state.acked.add(seq)
         state.unacked_sent.discard(seq)
         if state.in_flight > 0:
@@ -247,12 +259,11 @@ class PFabricAgent(TransportAgent):
     def _on_data(self, pkt: Packet) -> None:
         flow = pkt.flow
         fid = flow.fid
-        if pkt.seq == PROBE_SEQ:
-            self._send_ack(flow, PROBE_SEQ)  # probe-ACK, no data implied
-            return
+        if pkt.ecn:
+            self.ce_delivered += 1
         if fid in self.finished_rx:
             self.collector.data_duplicate(pkt)
-            self._send_ack(flow, pkt.seq)  # keep ACKing so the source closes
+            self._send_ack(pkt)  # keep ACKing so the source closes
             return
         state = self.dst_flows.get(fid)
         if state is None:
@@ -267,11 +278,15 @@ class PFabricAgent(TransportAgent):
                 del self.dst_flows[fid]
         else:
             self.collector.data_duplicate(pkt)
-        self._send_ack(flow, pkt.seq)
+        self._send_ack(pkt)
 
-    def _send_ack(self, flow: Flow, seq: int) -> None:
-        ack = self.pool.control(PacketType.ACK, flow, seq, self.host.node_id, flow.src, self.env.now)
-        ack.remaining = 0  # top priority in pFabric queues
+    def _send_ack(self, pkt: Packet) -> None:
+        """Per-packet ACK echoing the data packet's ECN codepoint."""
+        flow = pkt.flow
+        ack = self.pool.control(
+            PacketType.ACK, flow, pkt.seq, self.host.node_id, flow.src, self.env.now
+        )
+        ack.ecn = pkt.ecn
         self.collector.control_sent(ack)
         self.host.send(ack)
 
@@ -282,21 +297,21 @@ class PFabricAgent(TransportAgent):
         elif pkt.ptype == PacketType.ACK:
             self._on_ack(pkt)
         else:
-            raise ValueError(f"pFabric host received unexpected packet type: {pkt!r}")
+            raise ValueError(f"DCTCP host received unexpected packet type: {pkt!r}")
 
 
-def _pfabric_config_factory(ctx) -> PFabricConfig:
-    return PFabricConfig.paper_default()
+def _dctcp_config_factory(ctx) -> DCTCPConfig:
+    return DCTCPConfig.paper_default()
 
 
-def _pfabric_agent_factory(host, ctx) -> PFabricAgent:
-    return PFabricAgent(host, ctx)
+def _dctcp_agent_factory(host, ctx) -> DCTCPAgent:
+    return DCTCPAgent(host, ctx)
 
 
-PFABRIC_SPEC = ProtocolSpec(
-    name="pfabric",
-    agent_factory=_pfabric_agent_factory,
-    config_factory=_pfabric_config_factory,
-    switch_dataplane="pfabric",
-    host_dataplane="pfabric",
+DCTCP_SPEC = ProtocolSpec(
+    name="dctcp",
+    agent_factory=_dctcp_agent_factory,
+    config_factory=_dctcp_config_factory,
+    switch_dataplane="dctcp",
+    host_dataplane="dctcp",
 )

@@ -1,0 +1,69 @@
+"""DCTCP endpoint configuration.
+
+Defaults follow the DCTCP paper (SIGCOMM 2010) scaled to this
+simulator's fabric: estimation gain g = 1/16, sender reaction
+``cwnd <- cwnd * (1 - alpha/2)``, and a marking threshold K far below
+the 36 kB port buffers (the low threshold is the algorithm: mark early,
+cut gently).  The window/RTO scaffolding matches the pFabric endpoint
+(init_cwnd 12, RTO 45 us) so the comparison against the paper's three
+protocols isolates the congestion-control difference, not the
+retransmission machinery.
+
+Note the marking threshold itself lives in the *dataplane program*
+(:class:`repro.dataplane.DctcpEcnProgram`), not here: marking is switch
+behaviour, and the endpoint only ever sees the echoed bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.units import usec
+
+__all__ = ["DCTCPConfig"]
+
+
+@dataclass
+class DCTCPConfig:
+    """Tunables of the DCTCP endpoint behaviour.
+
+    Attributes:
+        init_cwnd: Initial congestion window in packets.
+        min_cwnd: Floor for multiplicative decrease, and the restart
+            window after an RTO (DCTCP inherits TCP's collapse-on-
+            timeout).
+        gain: The alpha-EWMA gain g in
+            ``alpha <- (1 - g) * alpha + g * F`` where F is the marked
+            fraction of the last observation window (paper: 1/16).
+        init_alpha: Starting congestion estimate; the paper initializes
+            conservatively at 1 (first marks cut hard, then alpha
+            decays as windows come back clean).
+        rto: Retransmission timeout (seconds).
+        rto_backoff: Multiplier applied to the RTO after consecutive
+            timeouts of the same flow (1.0 disables backoff).
+    """
+
+    init_cwnd: int = 12
+    min_cwnd: int = 1
+    gain: float = 0.0625
+    init_alpha: float = 1.0
+    rto: float = usec(45)
+    rto_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.init_cwnd < 1:
+            raise ValueError("init_cwnd must be >= 1")
+        if self.min_cwnd < 1 or self.min_cwnd > self.init_cwnd:
+            raise ValueError("min_cwnd must be in [1, init_cwnd]")
+        if not 0.0 < self.gain <= 1.0:
+            raise ValueError("gain must be in (0, 1]")
+        if not 0.0 <= self.init_alpha <= 1.0:
+            raise ValueError("init_alpha must be in [0, 1]")
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be >= 1.0")
+
+    @classmethod
+    def paper_default(cls) -> "DCTCPConfig":
+        return cls()

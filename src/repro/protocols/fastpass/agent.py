@@ -15,7 +15,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.net.packet import Flow, Packet, PacketType, control_packet
-from repro.protocols.base import ProtocolSpec, TransportAgent, priority_queue_factory
+from repro.protocols.base import ProtocolSpec, TransportAgent
 from repro.protocols.fastpass.arbiter import FastpassArbiter
 from repro.protocols.fastpass.config import FastpassConfig
 from repro.sim.engine import EventLoop
@@ -267,7 +267,7 @@ FASTPASS_SPEC = ProtocolSpec(
     name="fastpass",
     agent_factory=_fastpass_agent_factory,
     config_factory=_fastpass_config_factory,
-    switch_queue_factory=priority_queue_factory,
-    host_queue_factory=priority_queue_factory,
+    switch_dataplane="commodity",
+    host_dataplane="commodity",
     shared_factory=_fastpass_shared_factory,
 )

@@ -19,7 +19,7 @@ quantifying §5's claim that Fastpass's short-flow problem is exactly
 
 from __future__ import annotations
 
-from repro.protocols.base import ProtocolSpec, priority_queue_factory
+from repro.protocols.base import ProtocolSpec
 from repro.protocols.fastpass.agent import (
     FastpassAgent,
     _fastpass_agent_factory,
@@ -48,7 +48,7 @@ IDEAL_SPEC = ProtocolSpec(
     name="ideal",
     agent_factory=_fastpass_agent_factory,
     config_factory=ideal_config,
-    switch_queue_factory=priority_queue_factory,
-    host_queue_factory=priority_queue_factory,
+    switch_dataplane="commodity",
+    host_dataplane="commodity",
     shared_factory=_fastpass_shared_factory,
 )

@@ -13,7 +13,7 @@ from repro.protocols.phost.destination import PHostDestination
 from repro.protocols.phost.policies import make_policy
 from repro.protocols.phost.source import PHostSource
 from repro.net.packet import Flow, Packet, PacketType
-from repro.protocols.base import ProtocolSpec, TransportAgent, priority_queue_factory
+from repro.protocols.base import ProtocolSpec, TransportAgent
 
 __all__ = ["PHostAgent", "PHOST_SPEC"]
 
@@ -127,6 +127,6 @@ PHOST_SPEC = ProtocolSpec(
     name="phost",
     agent_factory=_phost_agent_factory,
     config_factory=_phost_config_factory,
-    switch_queue_factory=priority_queue_factory,
-    host_queue_factory=priority_queue_factory,
+    switch_dataplane="commodity",
+    host_dataplane="commodity",
 )

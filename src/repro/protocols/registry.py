@@ -26,11 +26,12 @@ def _ensure_builtins() -> None:
         return
     # Imported lazily to avoid cycles at package import time.
     from repro.protocols.phost.agent import PHOST_SPEC
+    from repro.protocols.dctcp.agent import DCTCP_SPEC
     from repro.protocols.fastpass.agent import FASTPASS_SPEC
     from repro.protocols.ideal import IDEAL_SPEC
     from repro.protocols.pfabric.agent import PFABRIC_SPEC
 
-    for spec in (PHOST_SPEC, PFABRIC_SPEC, FASTPASS_SPEC, IDEAL_SPEC):
+    for spec in (PHOST_SPEC, PFABRIC_SPEC, FASTPASS_SPEC, IDEAL_SPEC, DCTCP_SPEC):
         register_protocol(spec)
 
 

@@ -55,6 +55,7 @@ class SimContext:
         "tuning",
         "pool",
         "faults",
+        "dataplane",
     )
 
     def __init__(
@@ -103,6 +104,11 @@ class SimContext:
         #: consult this to arm fault-only recovery timers without
         #: perturbing fault-free event streams.
         self.faults: Any = None
+        #: The run's :class:`repro.dataplane.DataplaneBinding` (which
+        #: switch/NIC programs the fabric executes, and whether they
+        #: were compiled to the fused queue classes).  Set by
+        #: ``build_simulation``; None for hand-wired fabrics.
+        self.dataplane: Any = None
 
     # ------------------------------------------------------------------
     # Instrumentation

@@ -37,6 +37,14 @@ class SimTuning:
             (only meaningful when ``fused_ports`` is on).
         packet_pool: Recycle :class:`~repro.net.packet.Packet` objects
             through a freelist once they are delivered.
+        fused_dataplane: Let reference dataplane programs compile to
+            their hand-optimized queue classes
+            (:class:`~repro.net.queues.PriorityQueue` /
+            :class:`~repro.net.queues.PFabricQueue`) instead of running
+            on the generic :class:`~repro.dataplane.ProgramQueue`
+            engine.  Digest-inert like every other knob; turn off to
+            exercise the match-action reference semantics (with full
+            per-stage ledgers) on any protocol.
         wheel_resolution: Timer-wheel tick in seconds.
     """
 
@@ -44,6 +52,7 @@ class SimTuning:
     fused_ports: bool = True
     inline_drain: bool = True
     packet_pool: bool = True
+    fused_dataplane: bool = True
     wheel_resolution: float = 1e-6
 
     @classmethod

@@ -63,6 +63,16 @@ class ConservationAuditor(Auditor):
             "port-ledger",
             "per port: packets in == transmitted + dropped + queued + in-tx",
         )
+        self._declare(
+            "dataplane-stage-ledger",
+            "per engine port: classified == admitted + dropped-incoming, "
+            "admitted == scheduled + queued + evicted, drops match the port",
+        )
+        self._declare(
+            "dataplane-mark-ledger",
+            "per engine port: marking conserves packets (marked <= classified, "
+            "independent of the drop columns)",
+        )
         self._flows: Dict[int, object] = {}
         self._sent: Dict[int, Set[int]] = {}
         self._delivered: Dict[int, Set[int]] = {}
@@ -270,7 +280,78 @@ class ConservationAuditor(Auditor):
                     f"queued={len(port.queue)}, in_tx={int(port.busy)})",
                     port=port.name, entered=entered, exited=exited,
                 )
+        self._reconcile_stage_ledgers(ctx)
         self._record_high_water(ctx)
+
+    def _reconcile_stage_ledgers(self, ctx) -> None:
+        """Audit the per-stage pipeline ledgers of generic-engine ports.
+
+        Fused reference queues carry no ledgers (the hot path stays
+        untouched), so these checks only fire for ports backed by a
+        :class:`repro.dataplane.ProgramQueue` — discovered by the
+        ``state`` attribute.  Marking is audited separately from the
+        drop columns: a marked packet is *not* a dropped packet, and
+        both ledgers must conserve on their own (fault-layer drops
+        happen on the link after the port, so they never appear here).
+        """
+        totals: Dict[str, int] = {}
+        engine_ports = 0
+        for port in ctx.fabric.all_ports():
+            state = getattr(port.queue, "state", None)
+            if state is None:
+                continue
+            engine_ports += 1
+            self._checked("dataplane-stage-ledger")
+            self._checked("dataplane-mark-ledger")
+            queued = len(port.queue)
+            if state.classified != state.admitted + state.dropped_incoming:
+                self._violate(
+                    "dataplane-stage-ledger",
+                    f"port {port.name}: classified={state.classified} != "
+                    f"admitted={state.admitted} + "
+                    f"dropped_incoming={state.dropped_incoming}",
+                    port=port.name, **state.to_dict(),
+                )
+            if state.admitted != state.scheduled + queued + state.evicted:
+                self._violate(
+                    "dataplane-stage-ledger",
+                    f"port {port.name}: admitted={state.admitted} != "
+                    f"scheduled={state.scheduled} + queued={queued} + "
+                    f"evicted={state.evicted}",
+                    port=port.name, queued=queued, **state.to_dict(),
+                )
+            if state.dropped_incoming + state.evicted != port.pkts_dropped:
+                self._violate(
+                    "dataplane-stage-ledger",
+                    f"port {port.name}: pipeline drops "
+                    f"{state.dropped_incoming} + {state.evicted} != port "
+                    f"pkts_dropped={port.pkts_dropped}",
+                    port=port.name, pkts_dropped=port.pkts_dropped,
+                    **state.to_dict(),
+                )
+            if state.classified != port.pkts_enqueued:
+                self._violate(
+                    "dataplane-stage-ledger",
+                    f"port {port.name}: classified={state.classified} != port "
+                    f"pkts_enqueued={port.pkts_enqueued}",
+                    port=port.name, pkts_enqueued=port.pkts_enqueued,
+                    **state.to_dict(),
+                )
+            if state.marked > state.classified:
+                self._violate(
+                    "dataplane-mark-ledger",
+                    f"port {port.name}: marked={state.marked} > "
+                    f"classified={state.classified}",
+                    port=port.name, **state.to_dict(),
+                )
+            for key, value in state.to_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        if engine_ports:
+            self.context["dataplane_ports"] = engine_ports
+            self.context["dataplane_totals"] = totals
+            binding = getattr(ctx, "dataplane", None)
+            if binding is not None:
+                self.context["dataplane_programs"] = binding.names
 
     def _record_high_water(self, ctx) -> None:
         """Surface queue high-water marks through AuditReport.context.

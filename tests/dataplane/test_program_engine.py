@@ -1,0 +1,224 @@
+"""Unit tests for the match-action dataplane engine.
+
+Two kinds of coverage:
+
+* **reference equivalence at the edges** — the queue edge cases
+  (zero-byte budget, exact fit, eviction ties, starvation avoidance)
+  run against both the hand-written queue class and the generic
+  :class:`ProgramQueue` executing the matching reference program, so
+  the two implementations cannot drift apart on the corners;
+* **engine properties** — the per-stage ledgers the auditors reconcile,
+  and the registry plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane import (
+    CommodityProgram,
+    DataplaneProgram,
+    PFabricProgram,
+    ProgramQueue,
+    available_dataplanes,
+    get_dataplane,
+    register_dataplane,
+)
+from repro.net.packet import Flow, Packet, PacketType
+from repro.net.queues import PFabricQueue, PriorityQueue
+
+
+def make_pkt(size=1500, priority=1, remaining=0, flow=None, seq=0):
+    pkt = Packet(PacketType.DATA, flow, seq, 0, 1, size, priority=priority)
+    pkt.remaining = remaining
+    return pkt
+
+
+def commodity_queue(kind, capacity):
+    if kind == "class":
+        return PriorityQueue(capacity)
+    return ProgramQueue(CommodityProgram(), capacity)
+
+
+def pfabric_queue(kind, capacity):
+    if kind == "class":
+        return PFabricQueue(capacity)
+    return ProgramQueue(PFabricProgram(), capacity)
+
+
+# ----------------------------------------------------------------------
+# Edge cases, both implementations
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", ["class", "program"])
+@pytest.mark.parametrize("make_queue", [commodity_queue, pfabric_queue])
+def test_zero_byte_budget_drops_everything(kind, make_queue):
+    q = make_queue(kind, 0)
+    pkt = make_pkt(40)
+    assert q.push(pkt) == [pkt]
+    assert len(q) == 0
+    assert q.bytes_queued == 0
+    assert q.pop() is None
+
+
+@pytest.mark.parametrize("kind", ["class", "program"])
+@pytest.mark.parametrize("make_queue", [commodity_queue, pfabric_queue])
+def test_exact_fit_push_is_admitted(kind, make_queue):
+    """A packet that lands occupancy exactly on the budget is kept;
+    one more byte would overflow."""
+    q = make_queue(kind, 3000)
+    assert q.push(make_pkt(1500)) == []
+    assert q.push(make_pkt(1500)) == []  # exactly at capacity
+    assert q.bytes_queued == 3000
+    extra = make_pkt(40)
+    assert extra in q.push(extra)  # even 40B over budget must drop
+    assert q.bytes_queued == 3000
+
+
+@pytest.mark.parametrize("kind", ["class", "program"])
+def test_pfabric_eviction_tie_on_equal_remaining_drops_newest(kind):
+    """Urgency ties break on arrival stamp: the newest (the incoming
+    packet) is the victim, buffered packets survive."""
+    q = pfabric_queue(kind, 3000)
+    first = make_pkt(1500, remaining=5)
+    second = make_pkt(1500, remaining=5)
+    q.push(first)
+    q.push(second)
+    third = make_pkt(1500, remaining=5)
+    assert q.push(third) == [third]
+    assert len(q) == 2
+
+
+@pytest.mark.parametrize("kind", ["class", "program"])
+def test_pfabric_starvation_avoidance_sends_oldest_of_best_flow(kind):
+    """The most urgent packet selects the *flow*; the flow's earliest
+    queued packet is transmitted (pHost paper, footnote 1)."""
+    q = pfabric_queue(kind, 100_000)
+    flow = Flow(1, 0, 1, 100_000, 0.0)
+    older = make_pkt(remaining=9, flow=flow, seq=0)
+    newer = make_pkt(remaining=2, flow=flow, seq=7)
+    other = make_pkt(remaining=5, flow=Flow(2, 0, 1, 100_000, 0.0), seq=0)
+    q.push(older)
+    q.push(other)
+    q.push(newer)
+    assert q.pop() is older
+
+
+@pytest.mark.parametrize("kind", ["class", "program"])
+def test_commodity_strict_priority_and_fifo(kind):
+    q = commodity_queue(kind, 100_000)
+    low = make_pkt(priority=3)
+    mid_a = make_pkt(priority=1)
+    mid_b = make_pkt(priority=1)
+    q.push(low)
+    q.push(mid_a)
+    q.push(mid_b)
+    assert q.pop() is mid_a
+    assert q.pop() is mid_b
+    assert q.pop() is low
+    assert q.pop() is None
+
+
+@pytest.mark.parametrize("kind", ["class", "program"])
+def test_commodity_clamps_out_of_range_bands(kind):
+    q = commodity_queue(kind, 100_000)
+    q.push(make_pkt(priority=-3))
+    q.push(make_pkt(priority=99))
+    assert len(q) == 2
+    assert q.pop().priority == -3  # clamped into band 0 (highest)
+
+
+# ----------------------------------------------------------------------
+# Engine stage ledgers
+# ----------------------------------------------------------------------
+
+def test_engine_stage_ledgers_balance():
+    q = ProgramQueue(CommodityProgram(), 3000)
+    kept_a, kept_b, refused = make_pkt(1500), make_pkt(1500), make_pkt(1500)
+    q.push(kept_a)
+    q.push(kept_b)
+    q.push(refused)  # drop-tail: incoming refused
+    q.pop()
+    st = q.state
+    assert st.classified == 3
+    assert st.admitted == 2
+    assert st.dropped_incoming == 1
+    assert st.evicted == 0
+    assert st.scheduled == 1
+    assert st.classified == st.admitted + st.dropped_incoming
+    assert st.admitted == st.scheduled + len(q) + st.evicted
+
+
+def test_engine_eviction_ledger_counts_displaced_buffered_packets():
+    q = ProgramQueue(PFabricProgram(), 3000)
+    q.push(make_pkt(1500, remaining=1))
+    bulk = make_pkt(1500, remaining=500)
+    q.push(bulk)
+    assert q.push(make_pkt(1500, remaining=10)) == [bulk]
+    st = q.state
+    assert st.admitted == 3       # all three entered the buffer
+    assert st.evicted == 1        # the bulk packet was displaced
+    assert st.dropped_incoming == 0
+    assert st.admitted == st.scheduled + len(q) + st.evicted
+
+
+def test_engine_peek_matches_pop_without_removal():
+    q = ProgramQueue(CommodityProgram(), 100_000)
+    a, b = make_pkt(priority=2), make_pkt(priority=0)
+    q.push(a)
+    q.push(b)
+    assert q.peek() is b
+    assert len(q) == 2
+    assert q.pop() is b
+
+
+def test_meter_mark_counts_without_dropping():
+    class MarkAll(DataplaneProgram):
+        name = "mark-all-test"
+
+        def meter(self, pkt, q):
+            return True
+
+    q = ProgramQueue(MarkAll(), 100_000)
+    q.push(make_pkt())
+    q.push(make_pkt())
+    assert q.state.marked == 2
+    assert q.state.admitted == 2  # marking never removes a packet
+    assert q.state.marked <= q.state.classified
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_builtin_programs_registered():
+    names = available_dataplanes()
+    for expected in ("commodity", "pfabric", "dctcp"):
+        assert expected in names
+
+
+def test_unknown_dataplane_is_a_clear_error():
+    with pytest.raises(ValueError, match="unknown dataplane"):
+        get_dataplane("no-such-program")
+
+
+def test_external_registration_round_trips():
+    class Custom(DataplaneProgram):
+        name = "custom-test-program"
+
+    program = Custom()
+    register_dataplane(program)
+    assert get_dataplane("custom-test-program") is program
+    assert "custom-test-program" in available_dataplanes()
+
+
+def test_reference_programs_compile_to_fused_queues():
+    commodity = get_dataplane("commodity")
+    pfabric = get_dataplane("pfabric")
+    dctcp = get_dataplane("dctcp")
+    assert isinstance(commodity.make_queue(1000, fused=True), PriorityQueue)
+    assert isinstance(pfabric.make_queue(1000, fused=True), PFabricQueue)
+    # no fused specialization for the plug-in: always the generic engine
+    assert isinstance(dctcp.make_queue(1000, fused=True), ProgramQueue)
+    assert isinstance(commodity.make_queue(1000, fused=False), ProgramQueue)
+    assert isinstance(pfabric.make_queue(1000, fused=False), ProgramQueue)

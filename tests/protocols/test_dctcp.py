@@ -1,0 +1,200 @@
+"""Behavioural tests for the DCTCP baseline.
+
+DCTCP is the first protocol landed purely through the public plug-in
+surfaces — the dataplane-program registry (ECN marking in the fabric)
+and the protocol-agent registry (the endpoint) — so these tests also
+pin that integration: the fabric really runs the generic engine, marks
+really reach the sender as echoes, and the estimator really moves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane import ProgramQueue
+from repro.experiments.runner import build_simulation
+from repro.experiments.spec import ExperimentSpec
+from repro.net.packet import Flow
+from repro.net.topology import TopologyConfig
+from repro.protocols.dctcp.config import DCTCPConfig
+
+
+def dctcp_sim(config=None, seed=1, buffer_bytes=None):
+    spec = ExperimentSpec(
+        protocol="dctcp",
+        workload="fixed:1460",
+        n_flows=1,
+        topology=TopologyConfig.small(),
+        buffer_bytes=buffer_bytes,
+        protocol_config=config,
+        seed=seed,
+    )
+    ctx = build_simulation(spec)
+    return ctx.env, ctx.fabric, ctx.collector, ctx.config
+
+
+def start(env, fabric, collector, flow):
+    collector.expected_flows = (collector.expected_flows or 0) + 1
+    env.schedule_at(flow.arrival, fabric.hosts[flow.src].agent.start_flow, flow)
+
+
+def test_fabric_runs_the_generic_engine():
+    """No fused specialization exists for the ECN program: every port —
+    switch and NIC — must execute a ProgramQueue with stage ledgers."""
+    env, fabric, collector, _ = dctcp_sim()
+    assert isinstance(fabric.hosts[0].port.queue, ProgramQueue)
+    assert isinstance(fabric.tors[0].ports[0].queue, ProgramQueue)
+    assert fabric.hosts[0].port.queue.program.name == "dctcp"
+
+
+def test_lone_flow_near_opt():
+    env, fabric, collector, _ = dctcp_sim()
+    dst = fabric.config.hosts_per_rack
+    flow = Flow(1, 0, dst, 50 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    env.run(until=0.05)
+    assert flow.completed
+    slowdown = (flow.finish - flow.arrival) / fabric.opt_fct(flow.size_bytes, 0, dst)
+    assert 1.0 <= slowdown < 1.2
+
+
+def test_window_limits_inflight():
+    env, fabric, collector, _ = dctcp_sim(config=DCTCPConfig(init_cwnd=12))
+    flow = Flow(1, 0, 5, 300 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    max_queue = {"n": 0}
+
+    def watch():
+        max_queue["n"] = max(max_queue["n"], len(fabric.hosts[0].port.queue))
+        env.schedule(1e-6, watch)
+
+    env.schedule_at(0.0, watch)
+    env.run(until=0.01)
+    assert flow.completed
+    assert max_queue["n"] <= 12
+
+
+def test_rto_recovers_forced_loss():
+    env, fabric, collector, cfg = dctcp_sim()
+    dst = fabric.config.hosts_per_rack
+    flow = Flow(1, 0, dst, 30 * 1460, 0.0)
+    agent = fabric.hosts[dst].agent
+    original = agent._on_data
+    swallowed = {"done": False}
+
+    def lossy(pkt):
+        if pkt.seq == 7 and not swallowed["done"]:
+            swallowed["done"] = True
+            return
+        original(pkt)
+
+    agent._on_data = lossy
+    start(env, fabric, collector, flow)
+    env.run(until=0.05)
+    assert swallowed["done"]
+    assert flow.completed
+    assert collector.data_pkts_retransmitted >= 1
+    assert fabric.hosts[0].agent.timeouts >= 1
+
+
+def test_congestion_produces_echoed_marks_and_window_cuts():
+    """Incast congestion at one receiver must mark data in the fabric,
+    echo the marks on ACKs, raise alpha above its decayed floor, and
+    leave the aggressors' windows below the initial window."""
+    env, fabric, collector, _ = dctcp_sim(seed=3)
+    receiver = 0
+    fid = 0
+    for sender in range(1, min(6, fabric.config.n_hosts)):
+        flow = Flow(fid, sender, receiver, 200 * 1460, 1e-6 * fid)
+        start(env, fabric, collector, flow)
+        fid += 1
+    # Sample sender state mid-run, while the flows still exist.
+    seen = {"cwnd": [], "alpha": []}
+
+    def sample():
+        for host in fabric.hosts:
+            for state in host.agent.src_flows.values():
+                seen["cwnd"].append(state.cwnd)
+                seen["alpha"].append(state.alpha)
+        if not collector.all_complete:
+            env.schedule(20e-6, sample)
+
+    env.schedule_at(50e-6, sample)
+    env.run(until=0.2)
+    assert collector.n_completed == fid
+    echoes = sum(h.agent.ce_echoes for h in fabric.hosts)
+    delivered = sum(h.agent.ce_delivered for h in fabric.hosts)
+    assert delivered > 0, "fabric never marked under incast congestion"
+    assert echoes > 0, "marks were delivered but never echoed on ACKs"
+    assert min(seen["cwnd"]) < DCTCPConfig().init_cwnd
+    assert max(seen["alpha"]) > 0.0
+
+
+def test_small_flow_below_threshold_sees_no_marks():
+    """A flow whose whole window fits under K never queues 9000 bytes
+    anywhere — not even at its own NIC — so no packet is marked."""
+    env, fabric, collector, _ = dctcp_sim()
+    flow = Flow(1, 0, 1, 5 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    env.run(until=0.05)
+    assert flow.completed
+    assert sum(h.agent.ce_echoes for h in fabric.hosts) == 0
+
+
+def test_duplicate_acks_ignored():
+    env, fabric, collector, _ = dctcp_sim()
+    flow = Flow(1, 0, 1, 5 * 1460, 0.0)
+    start(env, fabric, collector, flow)
+    env.run(until=0.01)
+    src_agent = fabric.hosts[0].agent
+    from repro.net.packet import PacketType, control_packet
+
+    src_agent.on_packet(control_packet(PacketType.ACK, flow, 0, 1, 0, env.now))
+    assert flow.completed
+
+
+def test_alpha_update_matches_the_paper_formula():
+    """One observation window with every ACK marked must fold the full
+    marked fraction into alpha at gain g and halve-by-alpha the window."""
+    from repro.protocols.dctcp.agent import _SrcFlow
+
+    config = DCTCPConfig(init_cwnd=4, gain=0.25, init_alpha=0.5)
+    flow = Flow(1, 0, 1, 8 * 1460, 0.0)
+    state = _SrcFlow(flow, config)
+
+    class FakeAgent:
+        pass
+
+    from repro.protocols.dctcp.agent import DCTCPAgent
+
+    update = DCTCPAgent._update_estimator
+    agent = FakeAgent()
+    agent.config = config
+    for _ in range(4):  # one full window of marked ACKs (cwnd=4)
+        update(agent, state, True)
+    # alpha <- (1-g)*alpha + g*1.0 = 0.75*0.5 + 0.25 = 0.625
+    assert state.alpha == pytest.approx(0.625)
+    # cwnd <- cwnd * (1 - alpha/2) = 4 * (1 - 0.3125) = 2.75
+    assert state.cwnd == pytest.approx(2.75)
+    # a clean window then grows additively
+    for _ in range(3):  # ceil(2.75) = 3 ACKs
+        update(agent, state, False)
+    assert state.cwnd == pytest.approx(3.75)
+    assert state.alpha == pytest.approx(0.625 * 0.75)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DCTCPConfig(init_cwnd=0)
+    with pytest.raises(ValueError):
+        DCTCPConfig(min_cwnd=0)
+    with pytest.raises(ValueError):
+        DCTCPConfig(min_cwnd=20, init_cwnd=10)
+    with pytest.raises(ValueError):
+        DCTCPConfig(gain=0.0)
+    with pytest.raises(ValueError):
+        DCTCPConfig(init_alpha=1.5)
+    with pytest.raises(ValueError):
+        DCTCPConfig(rto=0)
+    with pytest.raises(ValueError):
+        DCTCPConfig(rto_backoff=0.5)

@@ -18,7 +18,7 @@ from repro.sim.randoms import SeededRng
 from repro.sim.tuning import SimTuning
 from repro.validate import run_digest
 
-PROTOCOLS = ["phost", "pfabric", "fastpass", "ideal"]
+PROTOCOLS = ["phost", "pfabric", "fastpass", "ideal", "dctcp"]
 
 
 def spec(protocol="phost", seed=5):
@@ -69,11 +69,26 @@ def test_different_seeds_different_digests(protocol):
 
 
 def test_protocols_produce_distinct_digests():
-    """Sanity that the digest actually discriminates behaviour: the four
+    """Sanity that the digest actually discriminates behaviour: the
     protocols (even ideal, a reconfigured Fastpass) must not collide on
     the same workload and seed."""
     digests = [digest_of(p, 5) for p in PROTOCOLS]
     assert len(set(digests)) == len(PROTOCOLS)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_generic_dataplane_engine_matches_fused_queues(protocol):
+    """The ProgramQueue engine is the semantic reference for the fused
+    queue classes: running every protocol with
+    ``SimTuning(fused_dataplane=False)`` must be byte-identical to the
+    optimized run.  (For dctcp the knob is vacuous — it always runs the
+    generic engine — which this test also pins.)"""
+    generic = run_digest(
+        run_experiment(
+            spec(protocol, 5).variant(tuning=SimTuning(fused_dataplane=False))
+        )
+    )
+    assert generic == digest_of(protocol, 5)
 
 
 @pytest.mark.parametrize("seed", [5, 11])
@@ -95,8 +110,9 @@ def test_tuning_knobs_do_not_change_behaviour(protocol, seed):
         SimTuning(fused_ports=False),
         SimTuning(inline_drain=False),
         SimTuning(packet_pool=False),
+        SimTuning(fused_dataplane=False),
     ],
-    ids=["no-wheel", "no-fusion", "no-drain", "no-pool"],
+    ids=["no-wheel", "no-fusion", "no-drain", "no-pool", "no-fused-dataplane"],
 )
 def test_each_tuning_knob_is_independently_inert(tuning):
     """Disable one optimization at a time: any digest drift localizes

@@ -29,14 +29,14 @@ from repro.validate import incast_digest, run_digest, standard_auditors
 GOLDEN_PATH = Path(__file__).parent / "golden_digests.json"
 
 
-def _fig3_tiny(instruments=()):
-    spec = make_spec("phost", "websearch", "tiny", seed=42)
+def _fig3_tiny(instruments=(), protocol="phost"):
+    spec = make_spec(protocol, "websearch", "tiny", seed=42)
     return run_experiment(spec.variant(instruments=instruments))
 
 
-def _fig9c_tiny(instruments=()):
+def _fig9c_tiny(instruments=(), protocol="phost"):
     return run_incast(
-        "phost",
+        protocol,
         n_senders=9,
         total_bytes=1_000_000,
         n_requests=3,
@@ -46,22 +46,28 @@ def _fig9c_tiny(instruments=()):
     )
 
 
+#: Protocols with committed golden fingerprints: the paper's lead
+#: transport plus the repository-added DCTCP baseline (which always
+#: runs on the generic dataplane engine, so its goldens also pin the
+#: ProgramQueue semantics and the stage-ledger audits).
+GOLDEN_PROTOCOLS = ("phost", "dctcp")
+
+
 def compute_goldens():
     """(digests, audit reports) for every golden scenario.
 
     Shared with ``scripts/refresh_goldens.py`` so the committed file and
     the test can never disagree about what is being fingerprinted.
     """
-    fig3 = _fig3_tiny(standard_auditors())
-    fig9c = _fig9c_tiny(standard_auditors())
-    digests = {
-        "fig3-tiny-phost-websearch-seed42": run_digest(fig3),
-        "fig9c-tiny-phost-incast9-seed42": incast_digest(fig9c),
-    }
-    reports = {
-        "fig3-tiny-phost-websearch-seed42": fig3.audit,
-        "fig9c-tiny-phost-incast9-seed42": fig9c.audit,
-    }
+    digests = {}
+    reports = {}
+    for protocol in GOLDEN_PROTOCOLS:
+        fig3 = _fig3_tiny(standard_auditors(), protocol)
+        fig9c = _fig9c_tiny(standard_auditors(), protocol)
+        digests[f"fig3-tiny-{protocol}-websearch-seed42"] = run_digest(fig3)
+        digests[f"fig9c-tiny-{protocol}-incast9-seed42"] = incast_digest(fig9c)
+        reports[f"fig3-tiny-{protocol}-websearch-seed42"] = fig3.audit
+        reports[f"fig9c-tiny-{protocol}-incast9-seed42"] = fig9c.audit
     return digests, reports
 
 
@@ -78,15 +84,26 @@ def computed():
     return compute_goldens()
 
 
-def test_fig3_audit_clean(computed):
-    report = computed[1]["fig3-tiny-phost-websearch-seed42"]
+@pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
+def test_fig3_audit_clean(computed, protocol):
+    report = computed[1][f"fig3-tiny-{protocol}-websearch-seed42"]
     assert report.ok, report.summary()
     assert report.total_violations == 0
 
 
-def test_fig9c_audit_clean(computed):
-    report = computed[1]["fig9c-tiny-phost-incast9-seed42"]
+@pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
+def test_fig9c_audit_clean(computed, protocol):
+    report = computed[1][f"fig9c-tiny-{protocol}-incast9-seed42"]
     assert report.ok, report.summary()
+
+
+def test_dctcp_goldens_audit_stage_ledgers(computed):
+    """The DCTCP goldens certify the generic engine: its audit must have
+    actually exercised the dataplane stage-ledger checks."""
+    report = computed[1]["fig3-tiny-dctcp-websearch-seed42"]
+    invariants = report.to_dict()["auditors"]["conservation"]["invariants"]
+    assert invariants["dataplane-stage-ledger"]["checked"] > 0
+    assert invariants["dataplane-mark-ledger"]["checked"] > 0
 
 
 def test_digests_match_committed_goldens(computed, goldens):
