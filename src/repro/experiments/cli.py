@@ -71,8 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mode.add_argument(
         "--replay",
-        metavar="TRACE.CSV",
-        help="simulate a flow trace file (see repro.workloads.trace_io)",
+        metavar="TRACE",
+        help=(
+            "simulate a flow trace file — CSV, or JSONL when the suffix "
+            "is .jsonl/.ndjson (see repro.workloads.trace_io)"
+        ),
     )
     mode.add_argument(
         "--report",
@@ -202,6 +205,48 @@ def build_parser() -> argparse.ArgumentParser:
             "--seed so faults can be re-drawn against identical traffic"
         ),
     )
+    wl = parser.add_argument_group(
+        "adversarial workloads (repro.workloads; for --run, see docs/WORKLOADS.md)"
+    )
+    wl.add_argument(
+        "--trace",
+        metavar="TRACE",
+        default=None,
+        help=(
+            "replay this flow-trace file (CSV/JSONL) instead of generating "
+            "a workload; unlike --replay, composes with --faults/--audit "
+            "and the full spec machinery"
+        ),
+    )
+    wl.add_argument(
+        "--skew",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "hot-rack traffic skew, e.g. 'racks=0+1,src=0.7,dst=0.7,"
+            "affinity=0.3,exclude=5+6'; implies the skewed traffic matrix"
+        ),
+    )
+    wl.add_argument(
+        "--ramp",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "piecewise load ramp on the arrival process: "
+            "'burst@AT:DURATION:FACTOR', 'diurnal@PERIOD:LOW:HIGH', or "
+            "explicit 'T:MULT,T:MULT,...' segments"
+        ),
+    )
+    wl.add_argument(
+        "--coflows",
+        metavar="MIN:MAX[:STAGGER]",
+        default=None,
+        help=(
+            "generate job-structured coflows (uniform width in "
+            "[MIN, MAX], optional intra-job stagger seconds) and report "
+            "job-completion metrics"
+        ),
+    )
     return parser
 
 
@@ -224,6 +269,27 @@ def _fault_plan(args: argparse.Namespace):
     from repro.faults import parse_fault_plan
 
     return parse_fault_plan(args.faults, seed=args.fault_seed)
+
+
+def _workload_variant(args: argparse.Namespace) -> dict:
+    """Spec overrides from --trace/--skew/--ramp/--coflows (may be {})."""
+    changes: dict = {}
+    if args.trace is not None:
+        changes["trace"] = args.trace
+    if args.skew is not None:
+        from repro.workloads.skew import parse_skew
+
+        changes["skew"] = parse_skew(args.skew)
+        changes["traffic_matrix"] = "skewed"
+    if args.ramp is not None:
+        from repro.workloads.ramp import parse_load_profile
+
+        changes["load_profile"] = parse_load_profile(args.ramp)
+    if args.coflows is not None:
+        from repro.workloads.coflows import parse_coflows
+
+        changes["coflows"] = parse_coflows(args.coflows)
+    return changes
 
 
 def _wants_obs(args: argparse.Namespace) -> bool:
@@ -299,6 +365,13 @@ def _result_dict(result: ExperimentResult) -> dict:
     }
     if result.fault_drops:
         payload["fault_drops"] = result.fault_drops
+    jobs = result.job_records()
+    if jobs:
+        payload["jobs"] = {
+            "n_jobs": len(jobs),
+            "completion_rate": result.job_completion_rate(),
+            "mean_jct": result.mean_jct(),
+        }
     if result.audit is not None:
         payload["audit"] = result.audit.to_dict()
     if result.telemetry is not None:
@@ -328,6 +401,12 @@ def _emit_result(result: ExperimentResult, as_json: bool) -> None:
     )
     if result.fault_drops:
         print(f"  injected fault drops: {result.fault_drops}")
+    jobs = result.job_records()
+    if jobs:
+        print(
+            f"  jobs: {sum(1 for j in jobs if j.completed)}/{len(jobs)} "
+            f"complete, mean JCT: {result.mean_jct() * 1e3:.3f} ms"
+        )
 
 
 def _figure_dict(result: FigureResult) -> dict:
@@ -402,11 +481,17 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.flows is not None:
         overrides["n_flows"] = args.flows
     spec = make_spec(protocol, workload, args.scale, **overrides)
+    try:
+        workload_changes = _workload_variant(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     spec = spec.variant(
         dataplane=args.dataplane,
         instruments=_audit_instruments(args),
         observability=_obs_config(args),
         faults=_fault_plan(args),
+        **workload_changes,
     )
     result = run_experiment(spec)
     _emit_result(result, args.json)

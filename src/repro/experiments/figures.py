@@ -53,6 +53,7 @@ __all__ = [
     "fig10",
     "fig11",
     "figR",
+    "figT",
     "ALL_FIGURES",
     "run_figure",
     "clear_cache",
@@ -676,6 +677,156 @@ def figR(scale: str = "bench", seed: int = 42) -> FigureResult:
 
 
 # ----------------------------------------------------------------------
+# Figure T — trace-driven & adversarial workloads (not in the paper)
+# ----------------------------------------------------------------------
+
+def _figT_horizon(workload: str, scale: str, seed: int) -> float:
+    """Expected arrival-window length (n_flows / Poisson rate) for a
+    preset — the time base ramps and blackouts are anchored to."""
+    from repro.experiments.runner import _resolve_workload
+    from repro.workloads.generator import poisson_flow_rate
+
+    spec = make_spec("phost", workload, scale, seed=seed)
+    dist = _resolve_workload(spec)
+    topo = spec.topology
+    rate = poisson_flow_rate(dist, topo.n_hosts, topo.access_bps, spec.load)
+    return spec.n_flows / rate
+
+
+def figT(scale: str = "bench", seed: int = 42) -> FigureResult:
+    """Which protocol wins where: adversarial workloads beyond the paper.
+
+    Five scenarios the paper never ran (WebSearch sizes, default load),
+    each against all four protocols:
+
+    * ``traced``   — the generated workload round-tripped through a
+      JSONL trace file and replayed via ``spec.trace`` (must match the
+      generated run's behaviour);
+    * ``hotrack``  — 70% of src *and* dst mass on two hot racks with
+      30% rack affinity (sustained oversubscription of two ToRs);
+    * ``ramp``     — a 4x load burst over the middle half of the
+      arrival window (transient overload, then drain);
+    * ``coflow``   — job-structured flows (2-6 per job), scored by job
+      completion time;
+    * ``storm``    — deadline-constrained traffic, 90% of destinations
+      in one hot rack, 0.5% wire loss and a mid-run arbiter blackout,
+      all at once.
+    """
+    from repro.faults import ArbiterBlackout, FaultPlan
+    from repro.workloads.coflows import CoflowConfig
+    from repro.workloads.ramp import LoadProfile
+    from repro.workloads.skew import SkewConfig
+
+    horizon = _figT_horizon("websearch", scale, seed)
+    specs_by_scenario = {}
+
+    # traced: round-trip this scale's generated websearch workload
+    # through a JSONL trace and replay it through the spec machinery.
+    import os
+    import tempfile
+
+    from repro.experiments.runner import _generate_flows, build_simulation
+    from repro.sim.randoms import SeededRng
+    from repro.workloads.trace_io import save_flows
+
+    base = make_spec("phost", "websearch", scale, seed=seed)
+    flows = _generate_flows(base, build_simulation(base).fabric, SeededRng(base.seed))
+    fd, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="figT-trace-")
+    os.close(fd)
+    save_flows(flows, trace_path)
+    specs_by_scenario["traced"] = lambda p: make_spec(
+        p, "websearch", scale, seed=seed, trace=trace_path
+    )
+
+    hot = SkewConfig(
+        hot_racks=(0, 1),
+        src_hot_fraction=0.7,
+        dst_hot_fraction=0.7,
+        rack_affinity=0.3,
+    )
+    specs_by_scenario["hotrack"] = lambda p: make_spec(
+        p, "websearch", scale, seed=seed,
+        traffic_matrix="skewed", skew=hot,
+    )
+
+    burst = LoadProfile.burst(
+        at=0.25 * horizon, duration=0.5 * horizon, factor=4.0
+    )
+    specs_by_scenario["ramp"] = lambda p: make_spec(
+        p, "websearch", scale, seed=seed, load_profile=burst
+    )
+
+    specs_by_scenario["coflow"] = lambda p: make_spec(
+        p, "websearch", scale, seed=seed, coflows=CoflowConfig(2, 6)
+    )
+
+    incast_skew = SkewConfig(
+        hot_racks=(0,), src_hot_fraction=0.2, dst_hot_fraction=0.9
+    )
+    storm_faults = FaultPlan(
+        loss_rate=0.005,
+        arbiter_blackouts=(
+            ArbiterBlackout(start=0.3 * horizon, end=0.6 * horizon),
+        ),
+        seed=seed,
+    )
+    specs_by_scenario["storm"] = lambda p: make_spec(
+        p, "websearch", scale, seed=seed,
+        traffic_matrix="skewed", skew=incast_skew,
+        with_deadlines=True,
+        protocol_config=PHostConfig.deadline() if p == "phost" else None,
+        faults=storm_faults,
+    )
+
+    result = FigureResult(
+        figure="figT",
+        title="Adversarial workloads: which protocol wins where (WebSearch)",
+        columns=[
+            "scenario",
+            "protocol",
+            "completion",
+            "mean_slowdown",
+            "p99_slowdown",
+            "mean_jct_ms",
+            "deadline_met",
+            "fault_drops",
+        ],
+    )
+    for name, spec_of in specs_by_scenario.items():
+        best = None
+        for protocol in EXTENDED_PROTOCOLS:
+            r = _run(spec_of(protocol))
+            jct = r.mean_jct()
+            row = dict(
+                scenario=name,
+                protocol=protocol,
+                completion=r.completion_rate,
+                mean_slowdown=r.mean_slowdown(),
+                p99_slowdown=r.tail_slowdown(99.0),
+                mean_jct_ms=jct * 1e3,
+                deadline_met=r.deadline_met_fraction(),
+                fault_drops=r.fault_drops,
+            )
+            result.add_row(**row)
+            # Winner: deadline scenarios by deadlines met, coflow by
+            # JCT, everything else by mean slowdown.
+            if name == "storm":
+                score = -row["deadline_met"]
+            elif name == "coflow":
+                score = row["mean_jct_ms"]
+            else:
+                score = row["mean_slowdown"]
+            if best is None or score < best[0]:
+                best = (score, protocol)
+        result.notes.append(f"{name}: best protocol {best[1]}")
+    result.notes.append(
+        "scenarios are repository extensions (docs/WORKLOADS.md); the "
+        "paper's fabric saw none of these"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # Registry / entry point
 # ----------------------------------------------------------------------
 
@@ -699,6 +850,7 @@ ALL_FIGURES = {
     "fig10": fig10,
     "fig11": fig11,
     "figR": figR,
+    "figT": figT,
 }
 
 

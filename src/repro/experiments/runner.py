@@ -74,6 +74,10 @@ def _resolve_workload(spec: ExperimentSpec):
 def _resolve_tm(spec: ExperimentSpec, n_hosts: int, rng: SeededRng):
     if spec.traffic_matrix == "permutation":
         return Permutation(n_hosts, rng)
+    if spec.traffic_matrix == "skewed":
+        from repro.workloads.skew import SkewedMatrix
+
+        return SkewedMatrix(n_hosts, spec.skew, spec.topology.rack_of)
     return AllToAll(n_hosts)
 
 
@@ -187,6 +191,18 @@ def _finalize_hooks(ctx: SimContext) -> None:
 
 
 def _generate_flows(spec: ExperimentSpec, fabric: Fabric, rng: SeededRng) -> List[Flow]:
+    if spec.trace is not None:
+        # Trace replay: the file is the workload (generator fields are
+        # ignored).  Deadlines are still assigned — but only to traced
+        # flows that do not carry their own.
+        from repro.workloads.trace_io import load_flows
+
+        flows = load_flows(spec.trace, n_hosts=fabric.config.n_hosts)
+        if spec.with_deadlines:
+            bare = [f for f in flows if f.deadline is None]
+            if bare:
+                assign_deadlines(bare, fabric, rng, mean=spec.deadline_mean)
+        return flows
     dist = _resolve_workload(spec)
     tm = _resolve_tm(spec, fabric.config.n_hosts, rng)
     tenant_of: Optional[Callable[[int], int]] = None
@@ -194,9 +210,29 @@ def _generate_flows(spec: ExperimentSpec, fabric: Fabric, rng: SeededRng) -> Lis
         split = spec.tenant_split
         tenant_rng = rng.stream("tenants")
         tenant_of = lambda i: 1 if tenant_rng.random() < split else 0  # noqa: E731
-    gen = FlowGenerator(
-        dist, tm, fabric.config.access_bps, spec.load, rng, tenant_of=tenant_of
-    )
+    if spec.coflows is not None:
+        from repro.workloads.coflows import CoflowGenerator
+
+        gen = CoflowGenerator(
+            dist,
+            tm,
+            fabric.config.access_bps,
+            spec.load,
+            rng,
+            spec.coflows,
+            tenant_of=tenant_of,
+            profile=spec.load_profile,
+        )
+    else:
+        gen = FlowGenerator(
+            dist,
+            tm,
+            fabric.config.access_bps,
+            spec.load,
+            rng,
+            tenant_of=tenant_of,
+            profile=spec.load_profile,
+        )
     flows = gen.generate(spec.n_flows)  # dist already truncated above
     if spec.with_deadlines:
         assign_deadlines(flows, fabric, rng, mean=spec.deadline_mean)

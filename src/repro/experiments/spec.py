@@ -37,7 +37,9 @@ class ExperimentSpec:
             "fixed:<bytes>".
         load: Target network load (paper sweeps 0.5-0.8; default 0.6).
         n_flows: Number of flows to generate.
-        traffic_matrix: "all_to_all" (default) or "permutation".
+        traffic_matrix: "all_to_all" (default), "permutation" or
+            "skewed" (requires ``skew``; see
+            :class:`repro.workloads.SkewedMatrix`).
         topology: Fabric dimensions; default is the paper's 144-host
             two-tier tree.
         buffer_bytes: Per-port buffer override (Figure 10 sweeps this).
@@ -87,6 +89,23 @@ class ExperimentSpec:
             :class:`repro.faults.FaultInjector` hook; ``None`` or an
             empty plan injects nothing and leaves the run byte-identical
             to the fault-free goldens (see docs/FAULTS.md).
+        trace: Path to a flow-trace file (CSV/JSONL, see
+            :mod:`repro.workloads.trace_io`).  When set, the workload
+            generator is bypassed and the trace's flows are replayed
+            (``workload``/``load``/``n_flows`` are ignored;
+            ``with_deadlines`` still assigns deadlines to traced flows
+            that lack one).
+        skew: Optional :class:`repro.workloads.SkewConfig`; requires
+            ``traffic_matrix="skewed"`` (hot-rack weights + rack
+            affinity, see docs/WORKLOADS.md).
+        load_profile: Optional :class:`repro.workloads.LoadProfile`
+            modulating the Poisson arrival rate piecewise in time
+            (bursts / diurnal ramps).  None = homogeneous arrivals,
+            byte-identical to pre-ramp behaviour.
+        coflows: Optional :class:`repro.workloads.CoflowConfig`; flows
+            are then generated in ``request_id``-tagged jobs and the
+            result exposes job-completion metrics (``job_records()``,
+            ``mean_jct()``).
         seed: RNG seed; everything is deterministic given it.
         label: Free-form tag for reports.
     """
@@ -112,6 +131,10 @@ class ExperimentSpec:
     observability: Any = None
     tuning: Any = None
     faults: Any = None
+    trace: Optional[str] = None
+    skew: Any = None
+    load_profile: Any = None
+    coflows: Any = None
     seed: int = 42
     label: str = ""
 
@@ -120,8 +143,17 @@ class ExperimentSpec:
             raise ValueError("load must be positive")
         if self.n_flows < 1:
             raise ValueError("n_flows must be >= 1")
-        if self.traffic_matrix not in ("all_to_all", "permutation"):
-            raise ValueError("traffic_matrix must be 'all_to_all' or 'permutation'")
+        if self.traffic_matrix not in ("all_to_all", "permutation", "skewed"):
+            raise ValueError(
+                "traffic_matrix must be 'all_to_all', 'permutation' or 'skewed'"
+            )
+        if self.traffic_matrix == "skewed" and self.skew is None:
+            raise ValueError("traffic_matrix='skewed' requires a skew config")
+        if self.skew is not None and self.traffic_matrix != "skewed":
+            raise ValueError(
+                "skew config set but traffic_matrix is "
+                f"{self.traffic_matrix!r}; use traffic_matrix='skewed'"
+            )
         if self.tenant_split is not None and not 0.0 <= self.tenant_split <= 1.0:
             raise ValueError("tenant_split must be in [0, 1]")
         if not isinstance(self.instruments, tuple):
@@ -194,6 +226,25 @@ class ExperimentResult:
 
     def deadline_met_fraction(self) -> float:
         return deadline_met_fraction(self.records)
+
+    def job_records(self):
+        """Coflow job records (see :mod:`repro.metrics.jobs`); empty
+        when no flow carried a ``request_id``."""
+        from repro.metrics.jobs import job_records
+
+        return job_records(self.records)
+
+    def mean_jct(self) -> float:
+        """Mean job completion time (NaN when there are no jobs)."""
+        from repro.metrics.jobs import mean_jct
+
+        return mean_jct(self.records)
+
+    def job_completion_rate(self) -> float:
+        """Fraction of jobs fully drained (NaN when there are no jobs)."""
+        from repro.metrics.jobs import job_completion_rate
+
+        return job_completion_rate(self.records)
 
     def summary(self) -> str:
         return (

@@ -72,6 +72,10 @@ PAPER_EXPECTATIONS: Dict[str, str] = {
     "figR": "(not in the paper) Robustness extension: 100% completion under "
             "packet loss and failed uplinks; loss costs tail slowdown, not "
             "flows; spraying routes around dead uplinks (zero drops on them).",
+    "figT": "(not in the paper) Adversarial-workload extension: trace replay "
+            "matches the generated run; hot-rack skew, load bursts and "
+            "coflows keep near-100% completion; the deadline/loss/blackout "
+            "storm separates the protocols (see docs/WORKLOADS.md).",
 }
 
 _PROTOS = ("phost", "pfabric", "fastpass")
@@ -156,6 +160,11 @@ def _sum_fig11(result: FigureResult) -> str:
     )
 
 
+def _sum_figT(result: FigureResult) -> str:
+    winners = [n for n in result.notes if "best protocol" in n]
+    return "; ".join(winners) if winners else "see table"
+
+
 _SUMMARIZERS: Dict[str, Callable[[FigureResult], str]] = {
     "fig3": _sum_fig3,
     "fig4": _sum_fig4,
@@ -174,6 +183,7 @@ _SUMMARIZERS: Dict[str, Callable[[FigureResult], str]] = {
     "fig9d": _sum_span_table,
     "fig10": _sum_span_table,
     "fig11": _sum_fig11,
+    "figT": _sum_figT,
 }
 
 

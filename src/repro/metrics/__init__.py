@@ -7,10 +7,17 @@
 * :mod:`repro.metrics.throughput` — goodput normalization.
 * :mod:`repro.metrics.drops` — drop-rate and per-hop drop accounting.
 * :mod:`repro.metrics.stability` — Fig. 7 pending-packet analysis.
+* :mod:`repro.metrics.jobs` — coflow job-completion-time analysis.
 """
 
 from repro.metrics.records import FlowRecord, records_from_flows
 from repro.metrics.collector import MetricsCollector
+from repro.metrics.jobs import (
+    JobRecord,
+    job_completion_rate,
+    job_records,
+    mean_jct,
+)
 from repro.metrics.slowdown import (
     deadline_met_fraction,
     mean_fct,
@@ -30,6 +37,10 @@ __all__ = [
     "FlowRecord",
     "records_from_flows",
     "MetricsCollector",
+    "JobRecord",
+    "job_records",
+    "mean_jct",
+    "job_completion_rate",
     "mean_slowdown",
     "mean_fct",
     "nfct",

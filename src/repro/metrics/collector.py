@@ -36,6 +36,12 @@ class MetricsCollector:
         self.delivered_bytes_by_tenant: Dict[int, int] = {}
         self.control_pkts_sent = 0
         self.control_bytes_sent = 0
+        # Job (coflow) bookkeeping: flows sharing a request_id form a
+        # job; these count members per job so live gauges can report
+        # how many jobs are open vs fully drained (the post-hoc JCT
+        # analysis lives in repro.metrics.jobs).
+        self.job_flows_seen: Dict[int, int] = {}
+        self.job_flows_done: Dict[int, int] = {}
         # Workload counters (for stability analysis)
         self.pkts_arrived = 0              # sum of n_pkts over arrived flows
         self.total_pkts_offered = 0        # set by the runner up front
@@ -81,6 +87,9 @@ class MetricsCollector:
     def flow_arrived(self, flow: Flow, now: float) -> None:
         self.flows[flow.fid] = flow
         self.pkts_arrived += flow.n_pkts
+        if flow.request_id is not None:
+            rid = flow.request_id
+            self.job_flows_seen[rid] = self.job_flows_seen.get(rid, 0) + 1
         if self.first_arrival is None or now < self.first_arrival:
             self.first_arrival = now
         if self._legacy_observer is not None:
@@ -94,6 +103,9 @@ class MetricsCollector:
         flow.finish = now
         self.completed_flows.append(flow)
         self.payload_bytes_delivered += flow.size_bytes
+        if flow.request_id is not None:
+            rid = flow.request_id
+            self.job_flows_done[rid] = self.job_flows_done.get(rid, 0) + 1
         if self.last_completion is None or now > self.last_completion:
             self.last_completion = now
         if self._legacy_observer is not None:
@@ -174,6 +186,25 @@ class MetricsCollector:
         if total is None:
             return False
         return self.n_completed >= total > 0
+
+    @property
+    def n_jobs_seen(self) -> int:
+        """Distinct jobs (request_id groups) with at least one arrival."""
+        return len(self.job_flows_seen)
+
+    @property
+    def n_jobs_drained(self) -> int:
+        """Jobs whose every *arrived* member has completed.
+
+        A live gauge: a job with members still to arrive can flicker
+        back to open; the authoritative post-hoc answer is
+        ``repro.metrics.jobs.job_records``.
+        """
+        return sum(
+            1
+            for rid, seen in self.job_flows_seen.items()
+            if self.job_flows_done.get(rid, 0) >= seen
+        )
 
     @property
     def pkts_pending(self) -> int:

@@ -4,7 +4,10 @@ Archival counterpart to :mod:`repro.workloads.trace_io`: a saved trace
 plus saved records fully document an experiment.  The CSV schema is
 stable and spreadsheet-friendly::
 
-    fid,src,dst,size_bytes,n_pkts,tenant,arrival,finish,fct,opt,slowdown,deadline,met_deadline
+    fid,src,dst,size_bytes,n_pkts,tenant,arrival,finish,fct,opt,slowdown,deadline,met_deadline,job
+
+``job`` (the coflow id, empty for standalone flows) was appended for
+figT; files written before it load fine.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ __all__ = ["save_records", "load_records", "result_to_json", "audit_report_to_js
 _COLUMNS = [
     "fid", "src", "dst", "size_bytes", "n_pkts", "tenant",
     "arrival", "finish", "fct", "opt", "slowdown", "deadline", "met_deadline",
+    "job",
 ]
 
 
@@ -41,6 +45,7 @@ def save_records(records: Iterable[FlowRecord], path: Union[str, Path]) -> int:
                 "" if r.slowdown is None else repr(r.slowdown),
                 "" if r.deadline is None else repr(r.deadline),
                 "" if r.met_deadline is None else int(r.met_deadline),
+                "" if r.request_id is None else r.request_id,
             ])
             count += 1
     return count
@@ -67,6 +72,7 @@ def load_records(path: Union[str, Path]) -> List[FlowRecord]:
                     finish=float(row["finish"]) if row["finish"] else None,
                     opt=float(row["opt"]),
                     deadline=float(row["deadline"]) if row["deadline"] else None,
+                    request_id=int(row["job"]) if row.get("job") else None,
                 )
             )
     return out

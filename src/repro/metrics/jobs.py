@@ -1,0 +1,90 @@
+"""Job (coflow) completion metrics.
+
+Flows carrying a ``request_id`` form a *job*: the unit a distributed
+application actually waits on.  A job's completion time runs from its
+earliest member arrival to its latest member finish, and the job only
+counts as complete when **every** member finished — one straggler flow
+holds the whole job (exactly the effect coflow-aware schedulers exist
+to fix, and the reason per-flow FCT understates application-level
+pain on shuffle-like traffic).
+
+Pure post-hoc analysis over :class:`~repro.metrics.records.FlowRecord`
+lists — no simulation state, so the same functions serve experiment
+results, incast drivers and trace replays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.metrics.records import FlowRecord
+
+__all__ = ["JobRecord", "job_records", "mean_jct", "job_completion_rate"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's outcome, aggregated over its member flows."""
+
+    job_id: int
+    n_flows: int
+    n_completed: int
+    total_bytes: int
+    arrival: float          # earliest member arrival
+    finish: Optional[float]  # latest member finish; None if any member open
+
+    @property
+    def completed(self) -> bool:
+        return self.finish is not None
+
+    @property
+    def jct(self) -> Optional[float]:
+        """Job completion time: max member finish − min member arrival."""
+        if self.finish is None:
+            return None
+        return self.finish - self.arrival
+
+
+def job_records(records: Iterable[FlowRecord]) -> List[JobRecord]:
+    """Group flow records by ``request_id`` into job records.
+
+    Flows without a ``request_id`` are standalone and ignored here.
+    Jobs are returned sorted by id for deterministic reporting.
+    """
+    by_job: Dict[int, List[FlowRecord]] = {}
+    for rec in records:
+        if rec.request_id is not None:
+            by_job.setdefault(rec.request_id, []).append(rec)
+    out: List[JobRecord] = []
+    for job_id in sorted(by_job):
+        members = by_job[job_id]
+        complete = all(m.finish is not None for m in members)
+        out.append(
+            JobRecord(
+                job_id=job_id,
+                n_flows=len(members),
+                n_completed=sum(1 for m in members if m.finish is not None),
+                total_bytes=sum(m.size_bytes for m in members),
+                arrival=min(m.arrival for m in members),
+                finish=max(m.finish for m in members) if complete else None,
+            )
+        )
+    return out
+
+
+def mean_jct(records: Iterable[FlowRecord]) -> float:
+    """Mean job completion time over completed jobs (NaN if none)."""
+    jcts = [j.jct for j in job_records(records) if j.jct is not None]
+    if not jcts:
+        return math.nan
+    return sum(jcts) / len(jcts)
+
+
+def job_completion_rate(records: Iterable[FlowRecord]) -> float:
+    """Fraction of jobs with every member flow finished (NaN if no jobs)."""
+    jobs = job_records(records)
+    if not jobs:
+        return math.nan
+    return sum(1 for j in jobs if j.completed) / len(jobs)

@@ -37,6 +37,8 @@ class FlowRecord:
     finish: Optional[float]
     opt: float
     deadline: Optional[float] = None
+    #: Job (coflow) id the flow belongs to; None for standalone flows.
+    request_id: Optional[int] = None
 
     @property
     def completed(self) -> bool:
@@ -81,6 +83,7 @@ def records_from_flows(flows: Iterable[Flow], fabric: Fabric) -> List[FlowRecord
                 finish=f.finish,
                 opt=fabric.opt_fct(f.size_bytes, f.src, f.dst),
                 deadline=f.deadline,
+                request_id=f.request_id,
             )
         )
     return out

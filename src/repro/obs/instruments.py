@@ -137,6 +137,8 @@ def _register_collector(registry: "InstrumentRegistry", collector) -> None:
     registry.gauge("pkts.retransmitted", lambda: collector.data_pkts_retransmitted)
     registry.gauge("pkts.pending", lambda: collector.pkts_pending)
     registry.gauge("control.pkts", lambda: collector.control_pkts_sent)
+    registry.gauge("jobs.seen", lambda: collector.n_jobs_seen)
+    registry.gauge("jobs.drained", lambda: collector.n_jobs_drained)
 
 
 def _register_port(registry: "InstrumentRegistry", port: "Port") -> None:

@@ -20,7 +20,15 @@ from repro.workloads.traffic_matrix import (
 )
 from repro.workloads.deadlines import assign_deadlines
 from repro.workloads.synthetic import LognormalDist, ParetoDist, UniformDist
-from repro.workloads.trace_io import load_flows, save_flows
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    iter_flows,
+    load_flows,
+    save_flows,
+)
+from repro.workloads.skew import SkewConfig, SkewedMatrix, parse_skew
+from repro.workloads.ramp import LoadProfile, parse_load_profile
+from repro.workloads.coflows import CoflowConfig, CoflowGenerator, parse_coflows
 
 __all__ = [
     "EmpiricalCDF",
@@ -42,4 +50,14 @@ __all__ = [
     "UniformDist",
     "load_flows",
     "save_flows",
+    "iter_flows",
+    "TraceFormatError",
+    "SkewConfig",
+    "SkewedMatrix",
+    "parse_skew",
+    "LoadProfile",
+    "parse_load_profile",
+    "CoflowConfig",
+    "CoflowGenerator",
+    "parse_coflows",
 ]

@@ -16,6 +16,7 @@ from repro.net.packet import Flow
 from repro.sim.randoms import SeededRng
 from repro.sim.units import HEADER_BYTES, MSS_BYTES
 from repro.workloads.distributions import EmpiricalCDF
+from repro.workloads.ramp import LoadProfile
 from repro.workloads.traffic_matrix import TrafficMatrix
 
 __all__ = ["poisson_flow_rate", "FlowGenerator"]
@@ -86,6 +87,7 @@ class FlowGenerator:
         load: float,
         rng: SeededRng,
         tenant_of=None,
+        profile: Optional[LoadProfile] = None,
     ) -> None:
         self.dist = dist
         self.tm = tm
@@ -95,6 +97,10 @@ class FlowGenerator:
         self._sizes = rng.stream("sizes")
         self._pairs = rng.stream("pairs")
         self.tenant_of = tenant_of  # optional fn(flow_index) -> tenant id
+        # ``profile`` modulates the Poisson rate piecewise in time (see
+        # repro.workloads.ramp).  None keeps the homogeneous draw path —
+        # and the exact RNG trajectory — of every pre-ramp experiment.
+        self.profile = profile
         self.rate = poisson_flow_rate(dist, tm.n_hosts, access_bps, load)
 
     def generate(
@@ -114,7 +120,10 @@ class FlowGenerator:
         flows: List[Flow] = []
         now = start_time
         for i in range(n_flows):
-            now += self._arrivals.expovariate(self.rate)
+            if self.profile is None:
+                now += self._arrivals.expovariate(self.rate)
+            else:
+                now = self.profile.next_arrival(now, self.rate, self._arrivals)
             size = self.dist.sample(self._sizes)
             if max_bytes is not None and size > max_bytes:
                 size = max_bytes

@@ -1,0 +1,174 @@
+"""Piecewise-constant load ramps for the arrival process (figT).
+
+The paper's generators are homogeneous Poisson; real fabrics see
+diurnal swings and bursts.  :class:`LoadProfile` multiplies the base
+arrival rate by a piecewise-constant factor, and inter-arrival times
+are drawn by cumulative-hazard inversion: draw a unit exponential
+``e``, then walk the segments consuming ``rate(t) * dt`` of hazard
+until ``e`` is spent.  One RNG draw per arrival, exactly like the flat
+``expovariate`` path, so determinism bookkeeping is unchanged — a flow
+with ``profile=None`` (or :meth:`LoadProfile.flat`) consumes the same
+stream the same way and keeps existing digests byte-identical.
+
+The final segment extends to infinity, so the profile covers any
+horizon.  Property tests in ``tests/workloads/test_ramp.py`` pin the
+inversion against per-segment empirical rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.sim.randoms import SeededRng
+
+__all__ = ["LoadProfile", "parse_load_profile"]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Piecewise-constant multiplier on the base arrival rate.
+
+    ``segments`` is a tuple of ``(start_time, multiplier)`` pairs: the
+    multiplier applies from its start time until the next segment's
+    start (the last one runs forever).  The first start must be 0.0,
+    starts strictly increase, and multipliers are positive.
+    """
+
+    segments: Tuple[Tuple[float, float], ...] = ((0.0, 1.0),)
+
+    def __post_init__(self) -> None:
+        segs = tuple((float(t), float(m)) for t, m in self.segments)
+        object.__setattr__(self, "segments", segs)
+        if not segs:
+            raise ValueError("LoadProfile needs at least one segment")
+        if segs[0][0] != 0.0:
+            raise ValueError(
+                f"first segment must start at t=0.0, got {segs[0][0]}"
+            )
+        for (t0, _), (t1, _) in zip(segs, segs[1:]):
+            if t1 <= t0:
+                raise ValueError(
+                    f"segment starts must strictly increase ({t1} after {t0})"
+                )
+        for t, m in segs:
+            if m <= 0.0:
+                raise ValueError(f"multiplier at t={t} must be > 0, got {m}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def flat(cls) -> "LoadProfile":
+        """The identity profile (multiplier 1 everywhere)."""
+        return cls(((0.0, 1.0),))
+
+    @classmethod
+    def burst(cls, at: float, duration: float, factor: float) -> "LoadProfile":
+        """Baseline load with a ``factor``× burst in ``[at, at+duration)``."""
+        if at < 0.0 or duration <= 0.0:
+            raise ValueError("burst needs at >= 0 and duration > 0")
+        if at == 0.0:
+            return cls(((0.0, factor), (duration, 1.0)))
+        return cls(((0.0, 1.0), (at, factor), (at + duration, 1.0)))
+
+    @classmethod
+    def diurnal(
+        cls, period: float, low: float, high: float, steps: int = 8
+    ) -> "LoadProfile":
+        """One sinusoid-ish cycle: ``steps`` equal slices ramping
+        low → high → low over ``period`` (then the last slice holds)."""
+        if period <= 0.0 or steps < 2:
+            raise ValueError("diurnal needs period > 0 and steps >= 2")
+        segs = []
+        for i in range(steps):
+            # Triangle wave sampled at slice midpoints: 0 → 1 → 0.
+            phase = i / (steps - 1)
+            level = 1.0 - abs(2.0 * phase - 1.0)
+            segs.append((period * i / steps, low + (high - low) * level))
+        return cls(tuple(segs))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_flat(self) -> bool:
+        return all(m == self.segments[0][1] for _, m in self.segments)
+
+    def multiplier_at(self, t: float) -> float:
+        """The rate multiplier in effect at absolute time ``t``."""
+        current = self.segments[0][1]
+        for start, mult in self.segments:
+            if start > t:
+                break
+            current = mult
+        return current
+
+    def mean_multiplier(self, horizon: float) -> float:
+        """Time-average multiplier over ``[0, horizon]`` (for sizing
+        the experiment's time guard)."""
+        if horizon <= 0.0:
+            return self.segments[0][1]
+        total = 0.0
+        for i, (start, mult) in enumerate(self.segments):
+            if start >= horizon:
+                break
+            end = (
+                self.segments[i + 1][0]
+                if i + 1 < len(self.segments)
+                else horizon
+            )
+            total += mult * (min(end, horizon) - start)
+        return total / horizon
+
+    def next_arrival(self, now: float, base_rate: float, rng: SeededRng) -> float:
+        """The next arrival time after ``now`` for a non-homogeneous
+        Poisson process with rate ``base_rate * multiplier_at(t)``.
+
+        Cumulative-hazard inversion: exactly one exponential draw per
+        arrival regardless of how many segment boundaries are crossed.
+        """
+        if base_rate <= 0.0:
+            raise ValueError(f"base_rate must be > 0, got {base_rate}")
+        hazard = rng.expovariate(1.0)
+        t = now
+        idx = 0
+        for i, (start, _) in enumerate(self.segments):
+            if start > t:
+                break
+            idx = i
+        while True:
+            rate = base_rate * self.segments[idx][1]
+            if idx + 1 < len(self.segments):
+                boundary = self.segments[idx + 1][0]
+                chunk = rate * (boundary - t)
+                if chunk < hazard:
+                    hazard -= chunk
+                    t = boundary
+                    idx += 1
+                    continue
+            return t + hazard / rate
+
+
+def parse_load_profile(text: str) -> LoadProfile:
+    """Parse the CLI ``--ramp`` spec into a :class:`LoadProfile`.
+
+    Three forms::
+
+        burst@AT:DURATION:FACTOR     e.g.  burst@0.01:0.02:4
+        diurnal@PERIOD:LOW:HIGH      e.g.  diurnal@0.1:0.5:2
+        T:MULT,T:MULT,...            explicit segments, first T must be 0
+    """
+    text = text.strip()
+    try:
+        if text.startswith("burst@"):
+            at, duration, factor = (float(v) for v in text[6:].split(":"))
+            return LoadProfile.burst(at, duration, factor)
+        if text.startswith("diurnal@"):
+            period, low, high = (float(v) for v in text[8:].split(":"))
+            return LoadProfile.diurnal(period, low, high)
+        segs = []
+        for part in text.split(","):
+            t, _, m = part.partition(":")
+            if not m:
+                raise ValueError(f"segment {part!r} is not T:MULT")
+            segs.append((float(t), float(m)))
+        return LoadProfile(tuple(segs))
+    except ValueError as exc:
+        raise ValueError(f"bad --ramp spec {text!r}: {exc}") from None

@@ -1,0 +1,226 @@
+"""Spatio-temporal traffic skew (figT, beyond the paper).
+
+The paper's traffic matrices treat every host identically; production
+fabrics do not (Parsonson et al., *Traffic Generation for Benchmarking
+Data Centre Networks* — see PAPERS.md — fit rack-level skew and
+locality explicitly).  :class:`SkewedMatrix` adds both dimensions:
+
+* **hot racks** — a configurable fraction of the source and/or
+  destination probability mass concentrates on a set of racks
+  (``src_hot_fraction`` / ``dst_hot_fraction``).  Setting
+  ``dst_hot_fraction`` near 1 on a single rack turns the open-loop
+  generator into a sustained incast storm.
+* **rack affinity** — with probability ``rack_affinity`` the
+  destination is drawn uniformly from the source's own rack (job
+  locality), otherwise from the global (skewed) weights.
+* **dead hosts** — ``exclude_hosts`` removes hosts from both weight
+  vectors entirely (e.g. hosts a fault plan pauses for the whole run);
+  an excluded host is never selected as source or destination.
+
+Weights are exact (not sampled): :meth:`SkewedMatrix.src_weights` and
+:meth:`SkewedMatrix.dst_weights` each sum to 1, which the property
+suite in ``tests/workloads/test_skew.py`` pins.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.randoms import SeededRng
+from repro.workloads.traffic_matrix import TrafficMatrix
+
+__all__ = ["SkewConfig", "SkewedMatrix", "parse_skew"]
+
+
+@dataclass(frozen=True)
+class SkewConfig:
+    """Hot-rack and locality knobs for a :class:`SkewedMatrix`.
+
+    Attributes:
+        hot_racks: Rack indices carrying the concentrated mass.  Empty
+            means no spatial skew (uniform weights).
+        src_hot_fraction: Probability a flow's *source* lands in a hot
+            rack (mass split uniformly inside the set).
+        dst_hot_fraction: Same for the *destination* — skewing only this
+            side produces incast-style concentration.
+        rack_affinity: Probability the destination is drawn from the
+            source's own rack instead of the global weights.
+        exclude_hosts: Host ids removed from both weight vectors (never
+            selected as source or destination).
+    """
+
+    hot_racks: Tuple[int, ...] = ()
+    src_hot_fraction: float = 0.5
+    dst_hot_fraction: float = 0.5
+    rack_affinity: float = 0.0
+    exclude_hosts: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Coerce so equal configs repr identically (spec memoization).
+        object.__setattr__(self, "hot_racks", tuple(self.hot_racks))
+        object.__setattr__(self, "exclude_hosts", tuple(self.exclude_hosts))
+        for name in ("src_hot_fraction", "dst_hot_fraction", "rack_affinity"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if any(r < 0 for r in self.hot_racks):
+            raise ValueError("hot_racks must be non-negative rack indices")
+        if any(h < 0 for h in self.exclude_hosts):
+            raise ValueError("exclude_hosts must be non-negative host ids")
+
+
+class SkewedMatrix(TrafficMatrix):
+    """Weighted (src, dst) sampling with hot racks and rack affinity."""
+
+    name = "skewed"
+
+    def __init__(
+        self,
+        n_hosts: int,
+        config: SkewConfig,
+        rack_of: Callable[[int], int],
+    ) -> None:
+        super().__init__(n_hosts)
+        self.config = config
+        self.rack_of = rack_of
+        n_racks = max(rack_of(h) for h in range(n_hosts)) + 1
+        if any(r >= n_racks for r in config.hot_racks):
+            raise ValueError(
+                f"hot rack out of range for {n_racks}-rack fabric: "
+                f"{sorted(config.hot_racks)}"
+            )
+        dead = set(config.exclude_hosts)
+        if any(h >= n_hosts for h in dead):
+            raise ValueError(
+                f"excluded host out of range for {n_hosts}-host fabric"
+            )
+        self._live = [h for h in range(n_hosts) if h not in dead]
+        if len(self._live) < 2:
+            raise ValueError("skew must leave at least two live hosts")
+        hot = set(config.hot_racks)
+        self._src_w = self._weights(hot, config.src_hot_fraction, dead)
+        self._dst_w = self._weights(hot, config.dst_hot_fraction, dead)
+        if sum(1 for w in self._dst_w if w > 0.0) < 2:
+            raise ValueError(
+                "destination weights must leave at least two selectable "
+                "hosts (every flow needs a destination != its source)"
+            )
+        self._src_cum = list(accumulate(self._src_w))
+        self._dst_cum = list(accumulate(self._dst_w))
+        # Per-rack live-host lists for the affinity draw.
+        self._rack_hosts: List[List[int]] = [[] for _ in range(n_racks)]
+        for h in self._live:
+            self._rack_hosts[rack_of(h)].append(h)
+
+    # ------------------------------------------------------------------
+    def _weights(self, hot: set, hot_fraction: float, dead: set) -> List[float]:
+        """Per-host selection weights; excluded hosts get exactly 0 and
+        the rest always sums to 1."""
+        hot_hosts = [
+            h for h in self._live if self.rack_of(h) in hot
+        ] if hot else []
+        cold_hosts = [h for h in self._live if self.rack_of(h) not in hot]
+        w = [0.0] * self.n_hosts
+        if not hot_hosts or not cold_hosts:
+            # No skew possible: everything live is one class.
+            for h in self._live:
+                w[h] = 1.0 / len(self._live)
+            return w
+        for h in hot_hosts:
+            w[h] = hot_fraction / len(hot_hosts)
+        for h in cold_hosts:
+            w[h] = (1.0 - hot_fraction) / len(cold_hosts)
+        return w
+
+    def src_weights(self) -> List[float]:
+        """Exact per-host source-selection probabilities (sum to 1)."""
+        return list(self._src_w)
+
+    def dst_weights(self) -> List[float]:
+        """Exact per-host destination weights before the affinity draw
+        and the dst != src exclusion (sum to 1)."""
+        return list(self._dst_w)
+
+    # ------------------------------------------------------------------
+    #: Rejection-draw budget for dst == src.  Extreme-but-valid configs
+    #: can concentrate so much mass on one host that other hosts'
+    #: weights, though positive, vanish from the cumulative sums in
+    #: float arithmetic — every draw then returns that host and an
+    #: unbounded loop never terminates.  Past the budget we fall back
+    #: deterministically (no further RNG), so sampling stays both total
+    #: and reproducible.
+    _MAX_REJECTIONS = 128
+
+    def _draw(self, cum: List[float], weights: List[float], rng: SeededRng) -> int:
+        idx = bisect_right(cum, rng.random() * cum[-1])
+        if idx >= self.n_hosts or weights[idx] == 0.0:
+            # Float-rounding overshoot at the top of the cumulative sum:
+            # snap to the last positively weighted host, never a dead one.
+            idx = max(h for h in range(self.n_hosts) if weights[h] > 0.0)
+        return idx
+
+    def sample_pair(self, rng: SeededRng) -> Tuple[int, int]:
+        src = self._draw(self._src_cum, self._src_w, rng)
+        cfg = self.config
+        if cfg.rack_affinity > 0.0 and rng.random() < cfg.rack_affinity:
+            mates = [h for h in self._rack_hosts[self.rack_of(src)] if h != src]
+            if mates:
+                return src, mates[rng.randrange(len(mates))]
+        for _ in range(self._MAX_REJECTIONS):
+            dst = self._draw(self._dst_cum, self._dst_w, rng)
+            if dst != src:
+                return src, dst
+        # Degenerate saturation: src is the only host the weighted draw
+        # can reach.  The constructor guarantees a second positively
+        # weighted host exists; take the heaviest one.
+        return src, max(
+            (h for h in range(self.n_hosts) if h != src and self._dst_w[h] > 0.0),
+            key=lambda h: self._dst_w[h],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SkewedMatrix(n_hosts={self.n_hosts}, config={self.config})"
+
+
+def parse_skew(text: str) -> SkewConfig:
+    """Parse the CLI ``--skew`` spec into a :class:`SkewConfig`.
+
+    Comma-separated clauses::
+
+        racks=0+1          hot racks (``+``-separated indices)
+        src=0.7            src_hot_fraction
+        dst=0.9            dst_hot_fraction
+        affinity=0.3       rack_affinity
+        exclude=5+6        exclude_hosts
+
+    Example: ``--skew racks=0,dst=0.9,affinity=0.2``.
+    """
+    kwargs: dict = {}
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        if "=" not in clause:
+            raise ValueError(f"bad --skew clause {clause!r}: expected key=value")
+        key, _, value = clause.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        try:
+            if key == "racks":
+                kwargs["hot_racks"] = tuple(int(v) for v in value.split("+"))
+            elif key == "src":
+                kwargs["src_hot_fraction"] = float(value)
+            elif key == "dst":
+                kwargs["dst_hot_fraction"] = float(value)
+            elif key == "affinity":
+                kwargs["rack_affinity"] = float(value)
+            elif key == "exclude":
+                kwargs["exclude_hosts"] = tuple(int(v) for v in value.split("+"))
+            else:
+                raise ValueError(f"unknown --skew key {key!r}")
+        except ValueError as exc:
+            raise ValueError(f"bad --skew clause {clause!r}: {exc}") from None
+    return SkewConfig(**kwargs)

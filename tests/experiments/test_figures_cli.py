@@ -53,7 +53,7 @@ def test_all_figures_registry_complete():
     expected = {
         "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
         "fig5f", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig9d",
-        "fig10", "fig11", "figR",
+        "fig10", "fig11", "figR", "figT",
     }
     assert set(figures.ALL_FIGURES) == expected
 

@@ -1,0 +1,102 @@
+"""Tests for job (coflow) completion metrics (repro.metrics.jobs)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.jobs import JobRecord, job_completion_rate, job_records, mean_jct
+from repro.metrics.records import FlowRecord
+
+
+def rec(fid, arrival, finish, job=None, size=1460):
+    return FlowRecord(
+        fid=fid, src=0, dst=1, size_bytes=size, n_pkts=1, tenant=0,
+        arrival=arrival, finish=finish, opt=1e-6, request_id=job,
+    )
+
+
+def test_grouping_and_aggregates():
+    records = [
+        rec(0, 0.10, 0.20, job=1, size=100),
+        rec(1, 0.12, 0.30, job=1, size=200),
+        rec(2, 0.05, 0.06, job=2),
+        rec(3, 0.50, 0.60),        # standalone: ignored
+    ]
+    jobs = job_records(records)
+    assert [j.job_id for j in jobs] == [1, 2]
+    j1 = jobs[0]
+    assert j1.n_flows == 2 and j1.n_completed == 2
+    assert j1.total_bytes == 300
+    assert j1.arrival == 0.10 and j1.finish == 0.30
+    assert j1.completed and math.isclose(j1.jct, 0.20)
+
+
+def test_straggler_holds_the_job():
+    """One unfinished member ⇒ the whole job is incomplete (finish/jct
+    None), even though other members finished."""
+    records = [
+        rec(0, 0.1, 0.2, job=5),
+        rec(1, 0.1, None, job=5),
+    ]
+    (job,) = job_records(records)
+    assert job.n_completed == 1
+    assert not job.completed
+    assert job.finish is None and job.jct is None
+
+
+def test_mean_jct_and_completion_rate():
+    records = [
+        rec(0, 0.0, 0.1, job=0),                  # jct 0.1
+        rec(1, 0.0, 0.3, job=1), rec(2, 0.1, 0.2, job=1),  # jct 0.3
+        rec(3, 0.0, None, job=2),                 # incomplete
+    ]
+    assert math.isclose(mean_jct(records), 0.2)
+    assert math.isclose(job_completion_rate(records), 2 / 3)
+
+
+def test_nan_when_no_jobs():
+    standalone = [rec(0, 0.0, 0.1)]
+    assert math.isnan(mean_jct(standalone))
+    assert math.isnan(job_completion_rate(standalone))
+    assert math.isnan(mean_jct([]))
+
+
+def test_incomplete_jobs_excluded_from_mean_jct():
+    records = [rec(0, 0.0, 0.5, job=0), rec(1, 0.0, None, job=1)]
+    assert math.isclose(mean_jct(records), 0.5)
+
+
+# Satellite invariant: job metrics are exactly max/sum of member fields.
+members = st.lists(
+    st.tuples(
+        st.floats(0.0, 1.0, allow_nan=False),               # arrival
+        st.floats(0.0, 1.0, allow_nan=False),               # fct (finish = arrival + fct)
+        st.integers(1, 10**6),                              # size
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(members=members)
+def test_job_aggregates_are_max_and_sum_of_members(members):
+    records = [
+        rec(i, a, a + f, job=7, size=s) for i, (a, f, s) in enumerate(members)
+    ]
+    (job,) = job_records(records)
+    assert job.n_flows == len(members)
+    assert job.total_bytes == sum(s for _, _, s in members)
+    assert job.arrival == min(a for a, _, _ in members)
+    assert job.finish == max(a + f for a, f, _ in members)
+    assert job.jct == job.finish - job.arrival
+    assert job.jct >= 0.0
+
+
+def test_job_record_is_frozen_value_type():
+    a = JobRecord(1, 2, 2, 100, 0.0, 1.0)
+    b = JobRecord(1, 2, 2, 100, 0.0, 1.0)
+    assert a == b and math.isclose(a.jct, 1.0)

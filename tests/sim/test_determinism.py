@@ -121,6 +121,85 @@ def test_each_tuning_knob_is_independently_inert(tuning):
     assert fresh == digest_of("phost", 5)
 
 
+# ----------------------------------------------------------------------
+# figT adversarial-workload determinism: the skew/ramp/coflow/trace
+# layers must be exactly as reproducible as the flat generator.
+
+FIGT_PROTOCOLS = ["phost", "pfabric", "fastpass", "dctcp"]
+
+
+def figt_spec(protocol="phost", seed=5):
+    """A spec exercising every figT workload axis at once: hot-rack
+    skew with affinity, a burst load ramp, and coflow structure."""
+    from repro.workloads.coflows import CoflowConfig
+    from repro.workloads.ramp import LoadProfile
+    from repro.workloads.skew import SkewConfig
+
+    return ExperimentSpec(
+        protocol=protocol, workload="datamining", n_flows=60,
+        topology=TopologyConfig.small(), max_flow_bytes=120_000, seed=seed,
+        traffic_matrix="skewed",
+        skew=SkewConfig(hot_racks=(0,), src_hot_fraction=0.6,
+                        dst_hot_fraction=0.8, rack_affinity=0.2),
+        load_profile=LoadProfile(((0.0, 1.0), (0.002, 3.0), (0.004, 1.0))),
+        coflows=CoflowConfig(min_flows=2, max_flows=5),
+    )
+
+
+@lru_cache(maxsize=None)
+def figt_digest_of(protocol: str, seed: int) -> str:
+    return run_digest(run_experiment(figt_spec(protocol, seed)))
+
+
+@pytest.mark.parametrize("seed", [5, 11])
+@pytest.mark.parametrize("protocol", FIGT_PROTOCOLS)
+def test_figt_workloads_byte_identical_digest(protocol, seed):
+    """Skewed + ramped + coflow runs re-executed from scratch produce
+    byte-identical digests across all protocols and seeds."""
+    fresh = run_digest(run_experiment(figt_spec(protocol, seed)))
+    assert fresh == figt_digest_of(protocol, seed)
+
+
+@pytest.mark.parametrize("protocol", FIGT_PROTOCOLS)
+def test_figt_different_seeds_different_digests(protocol):
+    assert figt_digest_of(protocol, 5) != figt_digest_of(protocol, 11)
+
+
+def test_figt_workload_differs_from_flat_workload():
+    """The adversarial knobs actually change the run (they are not
+    silently ignored by the runner)."""
+    assert figt_digest_of("phost", 5) != digest_of("phost", 5)
+
+
+def test_figt_tuning_baseline_is_inert():
+    """Optimization knobs stay pure-performance on adversarial
+    workloads too."""
+    baseline = run_digest(
+        run_experiment(figt_spec("phost", 5).variant(tuning=SimTuning.baseline()))
+    )
+    assert baseline == figt_digest_of("phost", 5)
+
+
+def test_traced_replay_matches_generated_run(tmp_path):
+    """Saving a generated workload to a trace and replaying it via
+    ``trace=`` produces a byte-identical digest: generated flows are
+    already arrival-sorted with sequential fids, so the loader's
+    sort-and-renumber is the identity and the simulation sees the same
+    flow list."""
+    from repro.experiments.runner import build_simulation, _generate_flows
+    from repro.workloads.trace_io import save_flows
+
+    base = spec("phost", 7)
+    ctx = build_simulation(base)
+    flows = _generate_flows(base, ctx.fabric, SeededRng(base.seed))
+    path = tmp_path / "figt-replay.jsonl"
+    save_flows(flows, path)
+
+    generated = run_digest(run_experiment(base))
+    replayed = run_digest(run_experiment(base.variant(trace=str(path))))
+    assert replayed == generated
+
+
 def test_stream_seed_derivation_is_stable_constants():
     """These exact values must never change: they pin the CRC-based
     substream derivation that makes runs reproducible across processes

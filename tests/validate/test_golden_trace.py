@@ -46,6 +46,24 @@ def _fig9c_tiny(instruments=(), protocol="phost"):
     )
 
 
+def _figT_tiny(instruments=(), protocol="phost"):
+    """The canonical figT adversarial scenario: hot-rack skew with
+    affinity, a mid-run load burst, and coflow-structured arrivals —
+    every new workload axis consumes RNG in one fingerprinted run."""
+    from repro.workloads.coflows import CoflowConfig
+    from repro.workloads.ramp import LoadProfile
+    from repro.workloads.skew import SkewConfig
+
+    spec = make_spec(protocol, "websearch", "tiny", seed=42).variant(
+        traffic_matrix="skewed",
+        skew=SkewConfig(hot_racks=(0,), src_hot_fraction=0.6,
+                        dst_hot_fraction=0.8, rack_affinity=0.2),
+        load_profile=LoadProfile(((0.0, 1.0), (0.005, 3.0), (0.01, 1.0))),
+        coflows=CoflowConfig(min_flows=2, max_flows=5),
+    )
+    return run_experiment(spec.variant(instruments=instruments))
+
+
 #: Protocols with committed golden fingerprints: the paper's lead
 #: transport plus the repository-added DCTCP baseline (which always
 #: runs on the generic dataplane engine, so its goldens also pin the
@@ -64,10 +82,13 @@ def compute_goldens():
     for protocol in GOLDEN_PROTOCOLS:
         fig3 = _fig3_tiny(standard_auditors(), protocol)
         fig9c = _fig9c_tiny(standard_auditors(), protocol)
+        figT = _figT_tiny(standard_auditors(), protocol)
         digests[f"fig3-tiny-{protocol}-websearch-seed42"] = run_digest(fig3)
         digests[f"fig9c-tiny-{protocol}-incast9-seed42"] = incast_digest(fig9c)
+        digests[f"figT-tiny-{protocol}-skew-coflow-burst-seed42"] = run_digest(figT)
         reports[f"fig3-tiny-{protocol}-websearch-seed42"] = fig3.audit
         reports[f"fig9c-tiny-{protocol}-incast9-seed42"] = fig9c.audit
+        reports[f"figT-tiny-{protocol}-skew-coflow-burst-seed42"] = figT.audit
     return digests, reports
 
 
@@ -95,6 +116,13 @@ def test_fig3_audit_clean(computed, protocol):
 def test_fig9c_audit_clean(computed, protocol):
     report = computed[1][f"fig9c-tiny-{protocol}-incast9-seed42"]
     assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
+def test_figT_audit_clean(computed, protocol):
+    report = computed[1][f"figT-tiny-{protocol}-skew-coflow-burst-seed42"]
+    assert report.ok, report.summary()
+    assert report.total_violations == 0
 
 
 def test_dctcp_goldens_audit_stage_ledgers(computed):
@@ -125,3 +153,8 @@ def test_fig3_digest_stable_across_invocations(computed):
 def test_fig9c_digest_stable_across_invocations(computed):
     again = incast_digest(_fig9c_tiny())
     assert again == computed[0]["fig9c-tiny-phost-incast9-seed42"]
+
+
+def test_figT_digest_stable_across_invocations(computed):
+    again = run_digest(_figT_tiny())
+    assert again == computed[0]["figT-tiny-phost-skew-coflow-burst-seed42"]

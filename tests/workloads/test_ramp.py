@@ -1,0 +1,142 @@
+"""Property tests for piecewise load ramps (repro.workloads.ramp)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.randoms import SeededRng
+from repro.workloads.ramp import LoadProfile, parse_load_profile
+
+# Strategy: 1-5 valid segments starting at 0 with increasing starts.
+segments = st.lists(
+    st.tuples(
+        st.floats(0.001, 10.0, allow_nan=False),   # gap to next start
+        st.floats(0.1, 8.0, allow_nan=False),      # multiplier
+    ),
+    min_size=1,
+    max_size=5,
+).map(
+    lambda gaps: tuple(
+        (round(sum(g for g, _ in gaps[:i]), 9), m)
+        for i, (_, m) in enumerate(gaps)
+    )
+)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LoadProfile(())
+    with pytest.raises(ValueError):
+        LoadProfile(((1.0, 2.0),))  # first start must be 0
+    with pytest.raises(ValueError):
+        LoadProfile(((0.0, 1.0), (0.0, 2.0)))  # non-increasing starts
+    with pytest.raises(ValueError):
+        LoadProfile(((0.0, 0.0),))  # non-positive multiplier
+
+
+def test_multiplier_at_and_mean():
+    p = LoadProfile(((0.0, 1.0), (1.0, 4.0), (3.0, 2.0)))
+    assert p.multiplier_at(0.0) == 1.0
+    assert p.multiplier_at(0.999) == 1.0
+    assert p.multiplier_at(1.0) == 4.0
+    assert p.multiplier_at(2.5) == 4.0
+    assert p.multiplier_at(100.0) == 2.0
+    # mean over [0, 4]: 1*1 + 4*2 + 2*1 = 11 over 4 seconds
+    assert math.isclose(p.mean_multiplier(4.0), 11.0 / 4.0)
+    assert math.isclose(p.mean_multiplier(1.0), 1.0)
+
+
+def test_burst_and_diurnal_constructors():
+    b = LoadProfile.burst(at=0.01, duration=0.02, factor=4.0)
+    assert b.segments == ((0.0, 1.0), (0.01, 4.0), (0.03, 1.0))
+    assert LoadProfile.burst(at=0.0, duration=0.5, factor=2.0).segments == (
+        (0.0, 2.0), (0.5, 1.0),
+    )
+    d = LoadProfile.diurnal(period=1.0, low=0.5, high=2.0, steps=5)
+    assert len(d.segments) == 5
+    assert d.segments[0][1] == 0.5          # starts low
+    assert max(m for _, m in d.segments) == 2.0  # peaks at high (odd steps)
+    assert not d.is_flat and LoadProfile.flat().is_flat
+    with pytest.raises(ValueError):
+        LoadProfile.burst(at=-1.0, duration=1.0, factor=2.0)
+    with pytest.raises(ValueError):
+        LoadProfile.diurnal(period=0.0, low=1.0, high=2.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(segs=segments, seed=st.integers(0, 2**20), base_rate=st.floats(10.0, 1e4))
+def test_arrivals_strictly_positive_and_monotone(segs, seed, base_rate):
+    """The hazard inversion always advances time and lands inside the
+    segment whose rate it finished consuming hazard in."""
+    profile = LoadProfile(segs)
+    rng = SeededRng(seed).stream("arrivals")
+    now = 0.0
+    for _ in range(100):
+        nxt = profile.next_arrival(now, base_rate, rng)
+        assert nxt > now
+        now = nxt
+
+
+def test_flat_profile_matches_homogeneous_draws_exactly():
+    """A flat profile must consume the RNG identically to the plain
+    ``expovariate(rate)`` path — this is what keeps pre-ramp digests
+    byte-identical when profile plumbing is present but unused."""
+    rate = 5000.0
+    a = SeededRng(3).stream("arrivals")
+    b = SeededRng(3).stream("arrivals")
+    profile = LoadProfile.flat()
+    now_a = now_b = 0.0
+    for _ in range(200):
+        now_a += a.expovariate(rate)
+        now_b = profile.next_arrival(now_b, rate, b)
+        assert now_a == pytest.approx(now_b, abs=0.0, rel=1e-15)
+
+
+@pytest.mark.parametrize(
+    "segments_, horizon",
+    [
+        (((0.0, 1.0), (0.5, 4.0)), 1.0),
+        (((0.0, 2.0), (0.3, 0.5), (0.7, 3.0)), 1.0),
+    ],
+)
+def test_empirical_rates_match_profile_per_segment(segments_, horizon):
+    """Draw many arrivals and check each segment's empirical rate is
+    within tolerance of base_rate * multiplier (satellite: load-ramp
+    arrival rates match the piecewise profile)."""
+    base_rate = 20_000.0
+    profile = LoadProfile(segments_)
+    rng = SeededRng(42).stream("arrivals")
+    arrivals = []
+    now = 0.0
+    while now < horizon:
+        now = profile.next_arrival(now, base_rate, rng)
+        arrivals.append(now)
+    for i, (start, mult) in enumerate(profile.segments):
+        end = (
+            profile.segments[i + 1][0]
+            if i + 1 < len(profile.segments)
+            else horizon
+        )
+        end = min(end, horizon)
+        n = sum(1 for t in arrivals if start <= t < end)
+        expected = base_rate * mult * (end - start)
+        # Poisson sd is sqrt(expected); allow 5 sigma.
+        assert abs(n - expected) < 5.0 * math.sqrt(expected), (
+            f"segment {i}: {n} arrivals, expected {expected:.0f}"
+        )
+
+
+def test_parse_load_profile():
+    assert parse_load_profile("burst@0.01:0.02:4").segments == (
+        (0.0, 1.0), (0.01, 4.0), (0.03, 1.0),
+    )
+    d = parse_load_profile("diurnal@1:0.5:2")
+    assert d.segments[0] == (0.0, 0.5)
+    assert parse_load_profile("0:1,0.5:3").segments == ((0.0, 1.0), (0.5, 3.0))
+    for bad in ("burst@1:2", "diurnal@x:1:2", "0.5:3", "nope"):
+        with pytest.raises(ValueError):
+            parse_load_profile(bad)

@@ -1,0 +1,168 @@
+"""Property tests for the SkewedMatrix hot-rack traffic matrix."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import TopologyConfig
+from repro.sim.randoms import SeededRng
+from repro.workloads.skew import SkewConfig, SkewedMatrix, parse_skew
+
+TOPO = TopologyConfig.small()  # 3 racks x 4 hosts = 12 hosts
+
+
+def matrix(config: SkewConfig, topo: TopologyConfig = TOPO) -> SkewedMatrix:
+    return SkewedMatrix(topo.n_hosts, config, topo.rack_of)
+
+
+# A strategy over valid configs for the small topology.
+configs = st.builds(
+    SkewConfig,
+    hot_racks=st.sets(st.integers(0, 2), max_size=2).map(tuple),
+    src_hot_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    dst_hot_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    rack_affinity=st.floats(0.0, 1.0, allow_nan=False),
+    exclude_hosts=st.sets(st.integers(0, 11), max_size=9).map(tuple),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=configs)
+def test_weights_sum_to_one_and_exclude_dead_hosts(config):
+    """Exact weight invariants: both vectors are distributions and an
+    excluded host carries exactly zero mass on both sides."""
+    try:
+        tm = matrix(config)
+    except ValueError:
+        return  # degenerate configs (too few live hosts) must raise
+    for weights in (tm.src_weights(), tm.dst_weights()):
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-12)
+        assert all(w >= 0.0 for w in weights)
+        for dead in config.exclude_hosts:
+            assert weights[dead] == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(config=configs, seed=st.integers(0, 2**20))
+def test_sampled_pairs_never_select_dead_hosts(config, seed):
+    try:
+        tm = matrix(config)
+    except ValueError:
+        return
+    dead = set(config.exclude_hosts)
+    rng = SeededRng(seed).stream("pairs")
+    for _ in range(200):
+        src, dst = tm.sample_pair(rng)
+        assert src != dst
+        assert src not in dead and dst not in dead
+        assert 0 <= src < TOPO.n_hosts and 0 <= dst < TOPO.n_hosts
+
+
+def test_hot_rack_mass_matches_fraction():
+    """With hot_fraction=0.7 on rack 0, rack 0's four hosts carry
+    exactly 0.7 of the weight (uniform within each class)."""
+    tm = matrix(SkewConfig(hot_racks=(0,), src_hot_fraction=0.7, dst_hot_fraction=0.9))
+    src_w, dst_w = tm.src_weights(), tm.dst_weights()
+    hot = [h for h in range(TOPO.n_hosts) if TOPO.rack_of(h) == 0]
+    assert math.isclose(sum(src_w[h] for h in hot), 0.7, rel_tol=1e-12)
+    assert math.isclose(sum(dst_w[h] for h in hot), 0.9, rel_tol=1e-12)
+    # Empirically the skew shows up in the draws too.
+    rng = SeededRng(7).stream("pairs")
+    draws = [tm.sample_pair(rng) for _ in range(4000)]
+    hot_dst = sum(1 for _, d in draws if TOPO.rack_of(d) == 0)
+    assert hot_dst / len(draws) > 0.75  # 0.9 weight minus dst!=src rejection
+
+
+def test_full_affinity_keeps_destination_in_source_rack():
+    tm = matrix(SkewConfig(hot_racks=(0,), rack_affinity=1.0))
+    rng = SeededRng(11).stream("pairs")
+    for _ in range(300):
+        src, dst = tm.sample_pair(rng)
+        assert TOPO.rack_of(src) == TOPO.rack_of(dst)
+        assert src != dst
+
+
+def test_zero_affinity_crosses_racks():
+    tm = matrix(SkewConfig(rack_affinity=0.0))
+    rng = SeededRng(13).stream("pairs")
+    assert any(
+        TOPO.rack_of(s) != TOPO.rack_of(d)
+        for s, d in (tm.sample_pair(rng) for _ in range(100))
+    )
+
+
+def test_affinity_falls_back_when_rack_is_dead():
+    """Source's rack-mates all excluded: the affinity draw must fall
+    back to the global weights instead of crashing or self-looping."""
+    # Kill everything in rack 0 except host 0; hosts 1-3 share its rack.
+    cfg = SkewConfig(rack_affinity=1.0, exclude_hosts=(1, 2, 3))
+    tm = matrix(cfg)
+    rng = SeededRng(17).stream("pairs")
+    for _ in range(200):
+        src, dst = tm.sample_pair(rng)
+        if src == 0:
+            assert TOPO.rack_of(dst) != 0  # fell back off-rack
+        assert dst not in (1, 2, 3)
+
+
+def test_saturated_weights_still_terminate():
+    """Regression: with one live hot host and dst_hot_fraction a hair
+    under 1.0, the cold hosts' weights are positive but vanish from the
+    cumulative sum in float arithmetic — every weighted draw returns
+    the hot host.  When that host is also the source, the unbounded
+    rejection loop used to spin forever; the bounded loop must fall
+    back deterministically to a positively weighted other host."""
+    cfg = SkewConfig(
+        hot_racks=(0,),
+        src_hot_fraction=1.0,          # src is always the lone hot host
+        dst_hot_fraction=1.0 - 2**-53,  # cold mass exists but saturates
+        exclude_hosts=(1, 2, 3),        # rack 0 keeps only host 0
+    )
+    tm = matrix(cfg)
+    rng = SeededRng(23).stream("pairs")
+    for _ in range(50):
+        src, dst = tm.sample_pair(rng)
+        assert src == 0
+        assert dst != src
+        assert tm.dst_weights()[dst] > 0.0
+
+
+def test_degenerate_configs_rejected():
+    with pytest.raises(ValueError):
+        matrix(SkewConfig(exclude_hosts=tuple(range(11))))  # one live host
+    with pytest.raises(ValueError):
+        matrix(SkewConfig(hot_racks=(9,)))  # rack out of range
+    with pytest.raises(ValueError):
+        matrix(SkewConfig(exclude_hosts=(99,)))  # host out of range
+    with pytest.raises(ValueError):
+        SkewConfig(src_hot_fraction=1.5)
+    with pytest.raises(ValueError):
+        SkewConfig(rack_affinity=-0.1)
+
+
+def test_all_racks_hot_degrades_to_uniform():
+    """Hot set covering every live rack: no skew is possible, weights
+    must be uniform over live hosts (not 0/0 from an empty cold class)."""
+    tm = matrix(SkewConfig(hot_racks=(0, 1, 2), src_hot_fraction=0.9))
+    live = 1.0 / TOPO.n_hosts
+    assert all(math.isclose(w, live) for w in tm.src_weights())
+
+
+def test_parse_skew_round_trip():
+    cfg = parse_skew("racks=0+1,src=0.7,dst=0.9,affinity=0.25,exclude=5+6")
+    assert cfg == SkewConfig(
+        hot_racks=(0, 1),
+        src_hot_fraction=0.7,
+        dst_hot_fraction=0.9,
+        rack_affinity=0.25,
+        exclude_hosts=(5, 6),
+    )
+    assert parse_skew("racks=2") == SkewConfig(hot_racks=(2,))
+    with pytest.raises(ValueError):
+        parse_skew("racks=0,bogus=1")
+    with pytest.raises(ValueError):
+        parse_skew("racks")

@@ -12,7 +12,12 @@ from repro.sim.randoms import SeededRng
 from repro.workloads.distributions import imc10
 from repro.workloads.generator import FlowGenerator
 from repro.workloads.traffic_matrix import AllToAll
-from repro.workloads.trace_io import TraceFormatError, load_flows, save_flows
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    iter_flows,
+    load_flows,
+    save_flows,
+)
 
 
 def sample_flows(n=20, seed=1):
@@ -102,6 +107,91 @@ def test_replay_through_simulator(tmp_path):
     result = run_flow_list(spec, flows)
     assert result.n_completed == len(flows)
     assert result.mean_slowdown() >= 1.0
+
+
+def test_jsonl_round_trip_preserves_everything(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    flows = sample_flows()
+    flows[2].request_id = 7
+    assert save_flows(flows, path) == len(flows)
+    loaded = load_flows(path, n_hosts=12)
+    for a, b in zip(flows, loaded):
+        assert (
+            a.arrival, a.src, a.dst, a.size_bytes,
+            a.tenant, a.deadline, a.request_id,
+        ) == (
+            b.arrival, b.src, b.dst, b.size_bytes,
+            b.tenant, b.deadline, b.request_id,
+        )
+
+
+def test_csv_round_trip_preserves_job_column(tmp_path):
+    path = tmp_path / "trace.csv"
+    flows = [Flow(0, 0, 1, 1460, 1e-3, request_id=4), Flow(1, 2, 3, 1460, 2e-3)]
+    save_flows(flows, path)
+    loaded = load_flows(path)
+    assert loaded[0].request_id == 4
+    assert loaded[1].request_id is None
+
+
+def test_explicit_fmt_overrides_suffix(tmp_path):
+    path = tmp_path / "trace.dat"
+    save_flows(sample_flows(5), path, fmt="jsonl")
+    assert path.read_text().lstrip().startswith("{")
+    assert len(load_flows(path, fmt="jsonl")) == 5
+    with pytest.raises(ValueError):
+        save_flows(sample_flows(5), tmp_path / "x.csv", fmt="xml")
+
+
+def test_iter_flows_streams_in_file_order(tmp_path):
+    path = tmp_path / "trace.csv"
+    save_flows([Flow(0, 0, 1, 1460, 3e-3), Flow(1, 1, 2, 1460, 1e-3)], path)
+    streamed = list(iter_flows(path, first_fid=5))
+    # File order, not arrival order; fids numbered from first_fid.
+    assert [f.arrival for f in streamed] == [3e-3, 1e-3]
+    assert [f.fid for f in streamed] == [5, 6]
+
+
+def test_sorted_true_preserves_order_and_rejects_non_monotone(tmp_path):
+    path = tmp_path / "ok.csv"
+    save_flows([Flow(0, 0, 1, 1460, 1e-3), Flow(1, 1, 2, 1460, 2e-3)], path)
+    loaded = load_flows(path, sorted=True)
+    assert [f.arrival for f in loaded] == [1e-3, 2e-3]
+
+    bad = tmp_path / "bad.csv"
+    save_flows([Flow(0, 0, 1, 1460, 3e-3), Flow(1, 1, 2, 1460, 1e-3)], bad)
+    with pytest.raises(TraceFormatError, match="not monotone"):
+        load_flows(bad, sorted=True)
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "arrival,src,dst,size_bytes\n0,0,1,0\n",   # zero size
+        "arrival,src,dst,size_bytes\n0,0,1,-5\n",  # negative size
+    ],
+)
+def test_non_positive_sizes_rejected(tmp_path, body):
+    path = tmp_path / "bad.csv"
+    path.write_text(body)
+    with pytest.raises(TraceFormatError, match="size"):
+        load_flows(path)
+
+
+@pytest.mark.parametrize(
+    "body, msg",
+    [
+        ("", "empty"),                                   # empty jsonl
+        ("not json\n", "invalid JSON"),                  # bad json
+        ('{"arrival": 0.1, "src": 0}\n', "missing"),     # missing keys
+        ('{"arrival": 0.1, "src": 0, "dst": 0, "size_bytes": 10}\n', "src == dst"),
+    ],
+)
+def test_malformed_jsonl_rejected(tmp_path, body, msg):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(body)
+    with pytest.raises(TraceFormatError, match=msg):
+        load_flows(path)
 
 
 def test_replay_is_identical_to_original_run(tmp_path):
