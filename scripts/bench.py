@@ -100,19 +100,23 @@ def _instances(size: str):
 
 
 def _time_runner(runner, repeats: int):
-    """Best-of-N wall clock; digests must agree across repeats."""
+    """Best-of-N wall clock; digests must agree across repeats.
+
+    Also returns the last run's result object so it can be persisted
+    into the run ledger (identical across repeats by determinism).
+    """
     best = None
-    digest = events = pkts = None
+    result = digest = events = pkts = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        _, d, ev, pk = runner()
+        res, d, ev, pk = runner()
         wall = time.perf_counter() - t0
         if digest is not None and d != digest:
             raise RuntimeError("nondeterministic benchmark run (digest drift)")
-        digest, events, pkts = d, ev, pk
+        result, digest, events, pkts = res, d, ev, pk
         if best is None or wall < best:
             best = wall
-    return best, digest, events, pkts
+    return best, result, digest, events, pkts
 
 
 def _tuning_baseline_wall(name: str, size: str, repeats: int):
@@ -213,6 +217,19 @@ def main(argv=None) -> int:
         f"{REGRESSION_FACTOR:.0%} vs the committed baseline",
     )
     ap.add_argument("--out", default=None, help="output JSON path")
+    ap.add_argument(
+        "--ledger",
+        default=str(REPO_ROOT / "ledger"),
+        metavar="DIR",
+        help="run-ledger directory (repro.obs.store); every report is "
+        "appended there and each fig3/fig5 run is stored content-"
+        "addressed (default: <repo>/ledger)",
+    )
+    ap.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the run ledger entirely",
+    )
     args = ap.parse_args(argv)
 
     runners = _instances(args.scale)
@@ -222,6 +239,16 @@ def main(argv=None) -> int:
         if unknown:
             ap.error(f"unknown instances {unknown}; known: {sorted(runners)}")
         runners = {k: runners[k] for k in wanted}
+
+    ledger = None
+    ledger_baseline = None
+    if not args.no_ledger:
+        from repro.obs.store import RunLedger
+
+        ledger = RunLedger(args.ledger)
+        # Captured before this run is appended, so --check compares
+        # against the *previous* stored report.
+        ledger_baseline = ledger.latest_bench(args.scale)
 
     baseline = (
         json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
@@ -233,6 +260,13 @@ def main(argv=None) -> int:
         if baseline.get("scale") == args.scale
         else {}
     )
+    # The ledger's most recent same-scale report (this machine's own
+    # history) beats the committed baseline when present.
+    check_instances = base_instances
+    check_source = str(BASELINE_PATH.relative_to(REPO_ROOT))
+    if ledger_baseline is not None:
+        check_instances = ledger_baseline.get("instances", {})
+        check_source = f"ledger {args.ledger} ({ledger_baseline.get('date')})"
     goldens = _golden_digests()
 
     report = {
@@ -246,8 +280,12 @@ def main(argv=None) -> int:
     failures = []
 
     for name, runner in runners.items():
-        wall, digest, events, pkts = _time_runner(runner, args.repeats)
+        wall, result, digest, events, pkts = _time_runner(runner, args.repeats)
         row = {"wall_seconds": round(wall, 4), "digest": digest}
+        if ledger is not None and hasattr(result, "spec"):
+            # fig3/fig5 rows are ExperimentResults; store them content-
+            # addressed so dashboards/diffs can consume bench runs too.
+            row["ledger_key"] = ledger.put(result, digest=digest).key
         if events is not None:
             row["events"] = events
             row["events_per_sec"] = round(events / wall)
@@ -293,8 +331,27 @@ def main(argv=None) -> int:
         f"BENCH_{report['date']}.json"
     )
     out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"\nwrote {out_path}")
+    # BENCH_<date>.json is a cumulative trajectory: same-day reports
+    # append rather than overwrite, so a day's runs stay comparable.
+    # Legacy single-report files are converted in place.
+    trajectory = {"schema": "bench-trajectory/v1", "runs": []}
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict):
+            if existing.get("schema") == "bench-trajectory/v1":
+                trajectory["runs"] = list(existing.get("runs", []))
+            elif "instances" in existing:
+                trajectory["runs"] = [existing]
+    trajectory["runs"].append(report)
+    out_path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out_path} ({len(trajectory['runs'])} runs)")
+
+    if ledger is not None:
+        bench_path = ledger.put_bench(report)
+        print(f"ledger: appended bench report {bench_path}")
 
     if args.update_baseline:
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
@@ -326,12 +383,18 @@ def main(argv=None) -> int:
 
     if args.check:
         row = report["instances"].get(SMOKE_INSTANCE)
-        prev = base_instances.get(SMOKE_INSTANCE)
+        prev = check_instances.get(SMOKE_INSTANCE)
+        if prev is None:
+            # A ledger whose last report lacks the smoke instance (e.g. a
+            # filtered --instances run) falls back to the committed file.
+            prev = base_instances.get(SMOKE_INSTANCE)
+            check_source = str(BASELINE_PATH.relative_to(REPO_ROOT))
         if row is None or prev is None:
             failures.append(
                 f"--check needs {SMOKE_INSTANCE} in both the run and the baseline"
             )
         else:
+            print(f"--check baseline: {check_source}")
             if row["wall_seconds"] > prev["wall_seconds"] * REGRESSION_FACTOR:
                 failures.append(
                     f"{SMOKE_INSTANCE} regressed: {row['wall_seconds']:.3f}s vs "

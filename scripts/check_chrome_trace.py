@@ -5,29 +5,63 @@ Usage::
 
     PYTHONPATH=src python scripts/check_chrome_trace.py out/trace.json [...]
 
-Exit status 0 if every file is a loadable trace (valid JSON, a
-``traceEvents`` array or bare-array form, and ``ph``/``ts``/``pid`` on
-every event), 1 otherwise.  This is the same check CI runs on the smoke
-job's artifact.
+Exit status 0 if every file is a loadable, non-trivial trace (valid
+JSON, a ``traceEvents`` array or bare-array form, ``ph``/``ts``/``pid``
+on every event, and at least ``--min-events`` events — an empty trace
+means the sink was never wired up, so it fails by default), non-zero
+otherwise.  On schema failures the first offending event is printed so
+the CI log shows what broke, not just that something did.  This is the
+check CI gates on for the smoke job's artifact.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.obs import validate_chrome_trace
+from repro.obs.chrome import ChromeTraceError
 
 
 def main(argv) -> int:
-    if not argv:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description="Schema-validate Chrome trace_event files."
+    )
+    parser.add_argument("paths", nargs="+", help="trace files to validate")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fail traces with fewer than N events (default 1; an empty "
+        "trace usually means the sink never attached)",
+    )
+    args = parser.parse_args(argv)
     status = 0
-    for path in argv:
+    for path in args.paths:
         try:
             events = validate_chrome_trace(path)
+        except ChromeTraceError as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            if exc.event is not None:
+                print(
+                    f"{path}: first offending event "
+                    f"(index {exc.index}): {json.dumps(exc.event)}",
+                    file=sys.stderr,
+                )
+            status = 1
+            continue
         except (OSError, ValueError) as exc:
             print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if len(events) < args.min_events:
+            print(
+                f"{path}: INVALID — only {len(events)} events "
+                f"(--min-events {args.min_events})",
+                file=sys.stderr,
+            )
             status = 1
             continue
         kinds = {}

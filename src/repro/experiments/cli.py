@@ -131,6 +131,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON instead of tables"
     )
     parser.add_argument(
+        "--ledger",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist results into a content-addressed run ledger at DIR "
+            "(repro.obs.store): --run/--replay/--batch store each run "
+            "keyed by (spec_hash, run_digest); --figure stores the "
+            "acceptance table.  Render with scripts/report.py"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "stream live progress for --batch: per-experiment start/"
+            "done lines plus heartbeat lines (ev/s, sim time, ETA) to "
+            "stderr"
+        ),
+    )
+    parser.add_argument(
         "--audit",
         action="store_true",
         help=(
@@ -318,6 +338,26 @@ def _obs_config(args: argparse.Namespace):
     return ObservabilityConfig(**kwargs)
 
 
+def _store_result(result: ExperimentResult, args: argparse.Namespace) -> None:
+    """Persist one result into the --ledger store (no-op without it)."""
+    if args.ledger is None:
+        return
+    from repro.obs.store import RunLedger
+
+    entry = RunLedger(args.ledger).put(result)
+    print(f"ledger: stored {entry.key} under {args.ledger}", file=sys.stderr)
+
+
+def _store_figure(figure: FigureResult, args: argparse.Namespace) -> None:
+    """Persist one figure table into the --ledger store (no-op without it)."""
+    if args.ledger is None:
+        return
+    from repro.obs.store import RunLedger
+
+    path = RunLedger(args.ledger).put_figure(figure)
+    print(f"ledger: stored figure table {path}", file=sys.stderr)
+
+
 def _handle_telemetry(result: ExperimentResult, args: argparse.Namespace) -> None:
     report = result.telemetry
     if report is None or args.json:
@@ -496,6 +536,7 @@ def _run_single(args: argparse.Namespace) -> int:
     result = run_experiment(spec)
     _emit_result(result, args.json)
     _handle_telemetry(result, args)
+    _store_result(result, args)
     return _handle_audit(result.audit, args)
 
 
@@ -556,6 +597,7 @@ def _run_replay(args: argparse.Namespace) -> int:
     result = run_flow_list(spec, flows)
     _emit_result(result, args.json)
     _handle_telemetry(result, args)
+    _store_result(result, args)
     return _handle_audit(result.audit, args)
 
 
@@ -568,7 +610,11 @@ def _run_batch(args: argparse.Namespace) -> int:
     except SpecFileError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    results = run_experiments_parallel([spec for _, spec in named], args.parallel)
+    results = run_experiments_parallel(
+        [spec for _, spec in named], args.parallel, progress=args.progress or None
+    )
+    for _, result in zip(named, results):
+        _store_result(result, args)
     if args.json:
         payload = {
             name: _result_dict(result)
@@ -662,6 +708,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         t0 = time.perf_counter()
         result = run_figure(name, scale=args.scale, seed=args.seed)
+        _store_figure(result, args)
         if args.json:
             print(json.dumps(_figure_dict(result), indent=2))
         else:

@@ -1,0 +1,91 @@
+"""Live progress events for experiment sweeps.
+
+:func:`repro.experiments.parallel.run_experiments_parallel` fans one
+:class:`ProgressEvent` stream out of its workers (over a queue for the
+multi-process path, directly for the serial path): a ``start`` event
+when a spec begins, ``running`` heartbeats piggybacked on the
+event-loop profiler's wall-clock heartbeat (events so far, ev/s, sim
+time, ETA), and a terminal ``done``/``error``.  Consumers are plain
+callables — :class:`ProgressPrinter` is the stderr default the CLI's
+``--progress`` flag uses.
+
+Events are frozen plain-data objects so they pickle across the worker
+queue unchanged.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Optional, TextIO
+
+__all__ = ["ProgressEvent", "ProgressPrinter", "format_event", "spec_label"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress report from one experiment in a sweep."""
+
+    index: int  # position in the sweep (0-based)
+    total: int  # sweep size
+    label: str  # human name of the spec
+    state: str  # "start" | "running" | "done" | "error"
+    events: int = 0
+    events_per_sec: float = 0.0
+    sim_now: float = 0.0
+    eta_seconds: Optional[float] = None
+    wall_seconds: Optional[float] = None
+    error: Optional[str] = None
+
+
+def spec_label(spec) -> str:
+    """Display name for a spec: its label, or protocol/workload/load/seed."""
+    if getattr(spec, "label", ""):
+        return spec.label
+    return (
+        f"{spec.protocol}/{spec.workload} load={spec.load:g} seed={spec.seed}"
+    )
+
+
+def format_event(event: ProgressEvent) -> str:
+    """One status line for an event (the heartbeat-line format)."""
+    head = f"[{event.index + 1}/{event.total}] {event.label}"
+    if event.state == "start":
+        return f"{head}: started"
+    if event.state == "running":
+        eta = "?" if event.eta_seconds is None else f"{event.eta_seconds:.1f}s"
+        return (
+            f"{head}: {event.events:,} ev "
+            f"({event.events_per_sec:,.0f} ev/s, "
+            f"t_sim={event.sim_now:.6f}s, ETA {eta})"
+        )
+    if event.state == "done":
+        wall = "" if event.wall_seconds is None else f" in {event.wall_seconds:.2f}s"
+        return f"{head}: done — {event.events:,} events{wall}"
+    if event.state == "error":
+        return f"{head}: FAILED — {event.error}"
+    return f"{head}: {event.state}"
+
+
+class ProgressPrinter:
+    """Default sink: one line per event to ``stream`` (stderr).
+
+    Tracks completion counts so the terminal line carries sweep-level
+    progress too.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.failed = 0
+
+    def __call__(self, event: ProgressEvent) -> None:
+        if event.state == "done":
+            self.done += 1
+        elif event.state == "error":
+            self.failed += 1
+        line = format_event(event)
+        if event.state in ("done", "error"):
+            finished = self.done + self.failed
+            line += f"  [{finished}/{event.total} finished]"
+        print(line, file=self.stream, flush=True)

@@ -334,6 +334,12 @@ def run_flow_list(
         audit=AuditReport.from_hooks(ctx.hooks),
         telemetry=Telemetry.report_from_hooks(ctx.hooks),
     )
+    if result.telemetry is not None:
+        # Self-describing series: spec hash / seed / git rev / wall time
+        # ride on the ObsReport (post-run, never perturbs the run).
+        from repro.obs.store import stamp_result_meta
+
+        stamp_result_meta(result)
     return result
 
 
@@ -429,6 +435,12 @@ def run_incast(
     _finalize_hooks(ctx)
     result.audit = AuditReport.from_hooks(ctx.hooks)
     result.telemetry = Telemetry.report_from_hooks(ctx.hooks)
+    if result.telemetry is not None:
+        from repro.obs.store import run_meta
+
+        result.telemetry.meta = run_meta(
+            spec, events_processed=env.events_processed
+        )
     return result
 
 

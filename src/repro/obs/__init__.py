@@ -18,7 +18,7 @@ and read the resulting :class:`ObsReport` off the experiment result.
 See ``docs/OBSERVABILITY.md``.
 """
 
-from repro.obs.chrome import ChromeTraceSink, validate_chrome_trace
+from repro.obs.chrome import ChromeTraceError, ChromeTraceSink, validate_chrome_trace
 from repro.obs.config import ObservabilityConfig
 from repro.obs.export import series_to_jsonl, write_text
 from repro.obs.instruments import register_run_instruments
@@ -31,25 +31,60 @@ from repro.obs.registry import (
     InstrumentRegistry,
     instrument_key,
 )
+from repro.obs.report import (
+    DEFAULT_THRESHOLDS,
+    MetricDelta,
+    RunDiff,
+    Threshold,
+    diff_entries,
+    render_dashboard,
+    validate_dashboard,
+)
 from repro.obs.sampler import PeriodicSampler
+from repro.obs.store import (
+    LedgerCollisionError,
+    LedgerEntry,
+    RunLedger,
+    family_hash,
+    result_metrics,
+    run_meta,
+    spec_hash,
+    stamp_result_meta,
+)
 from repro.obs.telemetry import ObsReport, Telemetry
 
 __all__ = [
+    "ChromeTraceError",
     "ChromeTraceSink",
     "Counter",
+    "DEFAULT_THRESHOLDS",
     "EventLoopProfiler",
     "Gauge",
     "Heartbeat",
     "Histogram",
     "Instrument",
     "InstrumentRegistry",
+    "LedgerCollisionError",
+    "LedgerEntry",
+    "MetricDelta",
     "ObsReport",
     "ObservabilityConfig",
     "PeriodicSampler",
+    "RunDiff",
+    "RunLedger",
     "Telemetry",
+    "Threshold",
+    "diff_entries",
+    "family_hash",
     "instrument_key",
     "register_run_instruments",
+    "render_dashboard",
+    "result_metrics",
+    "run_meta",
     "series_to_jsonl",
+    "spec_hash",
+    "stamp_result_meta",
     "validate_chrome_trace",
+    "validate_dashboard",
     "write_text",
 ]

@@ -27,7 +27,22 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.net.packet import Flow, Packet, PacketType
 
-__all__ = ["ChromeTraceSink", "validate_chrome_trace"]
+__all__ = ["ChromeTraceError", "ChromeTraceSink", "validate_chrome_trace"]
+
+
+class ChromeTraceError(ValueError):
+    """A trace file failed schema validation.
+
+    Carries the zero-based ``index`` of the first offending event and
+    the ``event`` object itself (both ``None`` for file-level problems
+    like unparseable JSON), so callers — ``scripts/check_chrome_trace.py``
+    in particular — can print exactly what broke.
+    """
+
+    def __init__(self, message: str, index: Optional[int] = None, event=None) -> None:
+        super().__init__(message)
+        self.index = index
+        self.event = event
 
 _PID_FLOWS = 1
 _PID_FABRIC = 2
@@ -201,27 +216,34 @@ class ChromeTraceSink:
 def validate_chrome_trace(path: str) -> List[dict]:
     """Load ``path`` and check trace-event schema requirements.
 
-    Returns the event list on success; raises ``ValueError`` describing
-    the first problem otherwise.  Accepts both the JSON-object form
+    Returns the event list on success; raises :class:`ChromeTraceError`
+    (a ``ValueError``, carrying the first offending event and its
+    index) otherwise.  Accepts both the JSON-object form
     (``{"traceEvents": [...]}``) and the bare-array form.
     """
     with open(path) as fh:
         try:
             doc = json.load(fh)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+            raise ChromeTraceError(f"{path}: not valid JSON: {exc}") from exc
     if isinstance(doc, dict):
         events = doc.get("traceEvents")
         if not isinstance(events, list):
-            raise ValueError(f"{path}: missing 'traceEvents' array")
+            raise ChromeTraceError(f"{path}: missing 'traceEvents' array")
     elif isinstance(doc, list):
         events = doc
     else:
-        raise ValueError(f"{path}: top level must be an object or array")
+        raise ChromeTraceError(f"{path}: top level must be an object or array")
     for i, event in enumerate(events):
         if not isinstance(event, dict):
-            raise ValueError(f"{path}: event {i} is not an object")
+            raise ChromeTraceError(
+                f"{path}: event {i} is not an object", index=i, event=event
+            )
         for field in ("ph", "ts", "pid"):
             if field not in event:
-                raise ValueError(f"{path}: event {i} missing required {field!r}")
+                raise ChromeTraceError(
+                    f"{path}: event {i} missing required {field!r}",
+                    index=i,
+                    event=event,
+                )
     return events

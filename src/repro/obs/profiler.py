@@ -155,6 +155,23 @@ class EventLoopProfiler:
     # ------------------------------------------------------------------
     # Heartbeat
     # ------------------------------------------------------------------
+    def set_heartbeat(
+        self,
+        wall_seconds: Optional[float],
+        on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
+    ) -> None:
+        """(Re-)arm the wall-clock heartbeat after construction.
+
+        Lets a sweep driver redirect an already-installed profiler's
+        heartbeats (e.g. into a progress queue) without replacing it.
+        ``None`` disarms; a ``None`` callback keeps the current sink.
+        """
+        if wall_seconds is not None and wall_seconds < 0:
+            raise ValueError("heartbeat interval must be non-negative")
+        self._hb_interval = wall_seconds
+        if on_heartbeat is not None:
+            self._on_heartbeat = on_heartbeat
+
     def _heartbeat_check(self, sim_now: float) -> None:
         wall = self._clock()
         elapsed = wall - self._hb_wall

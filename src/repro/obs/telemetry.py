@@ -47,6 +47,7 @@ class ObsReport:
         chrome_trace_path: Optional[str],
         chrome_trace_events: int,
         written: List[str],
+        meta: Optional[Dict[str, object]] = None,
     ) -> None:
         self.series = series
         self.samples_taken = samples_taken
@@ -56,9 +57,21 @@ class ObsReport:
         self.chrome_trace_path = chrome_trace_path
         self.chrome_trace_events = chrome_trace_events
         self.written = written
+        #: Run metadata (spec hash, seed, protocol, git revision,
+        #: wall-clock duration...) stamped by the runner via
+        #: :func:`repro.obs.store.stamp_result_meta`, so a stored series
+        #: is self-describing.  None until stamped.
+        self.meta = meta
 
     def summary(self) -> str:
         parts = [f"{self.n_instruments} instruments"]
+        if self.meta is not None:
+            parts.insert(
+                0,
+                f"run {str(self.meta.get('spec_hash', '?'))[:12]} "
+                f"seed={self.meta.get('seed')} "
+                f"git={self.meta.get('git_revision') or '?'}",
+            )
         if self.series is not None:
             parts.append(
                 f"{self.samples_taken} samples x {len(self.series.columns)} columns"

@@ -426,6 +426,11 @@ class EventLoop:
         """
         self._profiler = profiler
 
+    @property
+    def profiler(self) -> Optional[Any]:
+        """The installed event-loop profiler, if any."""
+        return self._profiler
+
     def stop(self) -> None:
         """Request that :meth:`run` return after the current callback."""
         self._stopped = True

@@ -1,0 +1,166 @@
+"""Live progress telemetry for experiment sweeps.
+
+The contract under test: progress observation (start/running/done
+events fanned out of ``run_experiments_parallel``) is side-effect
+free — results stay digest-identical to unobserved runs.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments.parallel import run_experiments_parallel
+from repro.experiments.progress import (
+    ProgressEvent,
+    ProgressPrinter,
+    format_event,
+    spec_label,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.net.topology import TopologyConfig
+from repro.validate import run_digest
+
+
+def _tiny_spec(seed=42, **overrides):
+    base = dict(
+        protocol="phost",
+        workload="fixed:20000",
+        n_flows=8,
+        topology=TopologyConfig.small(),
+        seed=seed,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# Event formatting
+# ----------------------------------------------------------------------
+
+def test_spec_label_prefers_explicit_label():
+    assert spec_label(_tiny_spec(label="fig3 smoke")) == "fig3 smoke"
+    auto = spec_label(_tiny_spec())
+    assert "phost" in auto and "seed=42" in auto
+
+
+def test_format_event_per_state():
+    base = dict(index=0, total=3, label="x")
+    assert format_event(ProgressEvent(state="start", **base)) == "[1/3] x: started"
+    running = format_event(
+        ProgressEvent(
+            state="running",
+            events=1024,
+            events_per_sec=2000.0,
+            sim_now=0.001,
+            eta_seconds=1.5,
+            **base,
+        )
+    )
+    assert "1,024 ev" in running and "ETA 1.5s" in running
+    unknown_eta = format_event(ProgressEvent(state="running", **base))
+    assert "ETA ?" in unknown_eta
+    done = format_event(
+        ProgressEvent(state="done", events=99, wall_seconds=0.5, **base)
+    )
+    assert "done" in done and "99 events" in done and "0.50s" in done
+    err = format_event(ProgressEvent(state="error", error="boom", **base))
+    assert "FAILED" in err and "boom" in err
+
+
+def test_progress_printer_counts_and_prints():
+    stream = io.StringIO()
+    printer = ProgressPrinter(stream)
+    total = dict(total=2, label="x")
+    printer(ProgressEvent(index=0, state="start", **total))
+    printer(ProgressEvent(index=0, state="done", events=5, **total))
+    printer(ProgressEvent(index=1, state="error", error="boom", **total))
+    assert printer.done == 1 and printer.failed == 1
+    out = stream.getvalue()
+    assert "[1/2 finished]" in out and "[2/2 finished]" in out
+
+
+# ----------------------------------------------------------------------
+# Serial path (processes=1)
+# ----------------------------------------------------------------------
+
+def test_serial_progress_emits_start_and_done():
+    events = []
+    results = run_experiments_parallel(
+        [_tiny_spec(seed=s) for s in (42, 43)],
+        processes=1,
+        progress=events.append,
+    )
+    assert len(results) == 2
+    states = [(e.index, e.state) for e in events if e.state != "running"]
+    assert states == [(0, "start"), (0, "done"), (1, "start"), (1, "done")]
+    done = [e for e in events if e.state == "done"]
+    assert done[0].events == results[0].events_processed
+    assert done[0].wall_seconds == results[0].wall_seconds
+    assert all(e.total == 2 for e in events)
+
+
+def test_zero_interval_heartbeats_emit_running_events():
+    events = []
+    run_experiments_parallel(
+        [_tiny_spec(n_flows=40)],
+        processes=1,
+        progress=events.append,
+        heartbeat_wall_seconds=0.0,
+    )
+    running = [e for e in events if e.state == "running"]
+    assert running, "interval=0 must emit a heartbeat at every profiler check"
+    assert running[-1].events > 0
+    assert running[-1].sim_now > 0.0
+
+
+def test_progress_does_not_change_results():
+    spec = _tiny_spec()
+    plain = run_experiment(spec)
+    observed = run_experiments_parallel(
+        [spec], processes=1, progress=lambda e: None, heartbeat_wall_seconds=0.0
+    )[0]
+    assert run_digest(observed) == run_digest(plain)
+    assert observed.events_processed == plain.events_processed
+
+
+def test_serial_error_emits_error_event_and_raises():
+    events = []
+    with pytest.raises(Exception):
+        run_experiments_parallel(
+            [_tiny_spec(protocol="no-such-protocol")],
+            processes=1,
+            progress=events.append,
+        )
+    assert [e.state for e in events] == ["start", "error"]
+    assert events[-1].error
+
+
+# ----------------------------------------------------------------------
+# Parallel path (worker queue fan-out)
+# ----------------------------------------------------------------------
+
+def test_parallel_progress_matches_serial_results():
+    specs = [_tiny_spec(seed=s) for s in (42, 43, 44)]
+    events = []
+    parallel = run_experiments_parallel(
+        specs, processes=2, progress=events.append
+    )
+    serial = [run_experiment(s) for s in specs]
+    assert [run_digest(r) for r in parallel] == [run_digest(r) for r in serial]
+    # Every spec reported a start and a done, with its own index.
+    for i in range(len(specs)):
+        mine = [e.state for e in events if e.index == i]
+        assert mine[0] == "start" and mine[-1] == "done"
+    done = {e.index: e for e in events if e.state == "done"}
+    assert done[0].events == parallel[0].events_processed
+
+
+def test_parallel_progress_true_prints_to_stderr(capsys):
+    run_experiments_parallel(
+        [_tiny_spec(seed=s) for s in (42, 43)], processes=2, progress=True
+    )
+    err = capsys.readouterr().err
+    assert "started" in err and "done" in err and "[2/2 finished]" in err

@@ -1,0 +1,213 @@
+"""The content-addressed run ledger (repro.obs.store).
+
+Pins the persistence contracts the dashboard depends on:
+
+* ColumnarSeries round-trips byte-identically (NaN included);
+* spec hashing is stable, observation-blind, and seed-sensitive —
+  while the family hash is seed-blind;
+* the ledger is idempotent per ``(spec_hash, run_digest)`` key and
+  refuses to overwrite mismatched content under one key;
+* results are stamped with self-describing run metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics.timeseries import ColumnarSeries
+from repro.net.topology import TopologyConfig
+from repro.obs import ObservabilityConfig
+from repro.obs.store import (
+    LedgerCollisionError,
+    RunLedger,
+    deserialize_series,
+    family_hash,
+    result_metrics,
+    serialize_series,
+    spec_hash,
+)
+from repro.validate import run_digest
+
+
+def _tiny_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        protocol="phost",
+        workload="fixed:20000",
+        n_flows=8,
+        topology=TopologyConfig.small(),
+        seed=42,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def observed_result():
+    return run_experiment(
+        _tiny_spec(observability=ObservabilityConfig(sample_period=50e-6))
+    )
+
+
+# ----------------------------------------------------------------------
+# ColumnarSeries persistence
+# ----------------------------------------------------------------------
+
+def test_series_round_trip_byte_identical():
+    series = ColumnarSeries()
+    series.append(0.0, {"a": 1.0})
+    series.append(1e-4, {"a": 2.5, "b": 0.125})  # 'a' backfilled with NaN
+    series.append(2e-4, {"b": 7.0})
+    blob = serialize_series(series)
+    again = serialize_series(deserialize_series(blob))
+    assert again == blob
+
+
+def test_series_round_trip_preserves_nan_cells():
+    series = ColumnarSeries()
+    series.append(0.0, {"x": 1.0})
+    series.append(1.0, {"y": 2.0})
+    loaded = deserialize_series(serialize_series(series))
+    assert math.isnan(loaded.columns["y"][0])
+    assert math.isnan(loaded.columns["x"][1])
+    assert loaded.times == series.times
+    assert loaded.names() == series.names()
+
+
+def test_series_round_trip_of_real_run(observed_result):
+    series = observed_result.telemetry.series
+    blob = serialize_series(series)
+    assert serialize_series(deserialize_series(blob)) == blob
+
+
+def test_series_deserialize_rejects_ragged_columns():
+    with pytest.raises(ValueError, match="cells"):
+        deserialize_series(
+            json.dumps(
+                {
+                    "schema": "columnar-series/v1",
+                    "times": [0.0, 1.0],
+                    "columns": {"a": [1.0]},
+                }
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Spec hashing
+# ----------------------------------------------------------------------
+
+def test_spec_hash_stable_and_seed_sensitive():
+    assert spec_hash(_tiny_spec()) == spec_hash(_tiny_spec())
+    assert spec_hash(_tiny_spec()) != spec_hash(_tiny_spec(seed=43))
+    assert spec_hash(_tiny_spec()) != spec_hash(_tiny_spec(load=0.7))
+
+
+def test_spec_hash_blind_to_observation_and_label():
+    bare = _tiny_spec()
+    observed = _tiny_spec(
+        observability=ObservabilityConfig(sample_period=50e-6), label="x"
+    )
+    assert spec_hash(bare) == spec_hash(observed)
+
+
+def test_family_hash_is_seed_blind():
+    assert family_hash(_tiny_spec()) == family_hash(_tiny_spec(seed=43))
+    assert family_hash(_tiny_spec()) != family_hash(_tiny_spec(load=0.7))
+
+
+# ----------------------------------------------------------------------
+# Run metadata stamping (the runner does this for every telemetry run)
+# ----------------------------------------------------------------------
+
+def test_runner_stamps_obsreport_meta(observed_result):
+    meta = observed_result.telemetry.meta
+    assert meta is not None
+    assert meta["spec_hash"] == spec_hash(observed_result.spec)
+    assert meta["seed"] == 42
+    assert meta["protocol"] == "phost"
+    assert meta["events_processed"] == observed_result.events_processed
+    assert meta["wall_seconds"] == observed_result.wall_seconds
+    assert "git_revision" in meta
+
+
+# ----------------------------------------------------------------------
+# The ledger
+# ----------------------------------------------------------------------
+
+def test_ledger_put_and_entry_content(tmp_path, observed_result):
+    ledger = RunLedger(tmp_path / "ledger")
+    entry = ledger.put(observed_result)
+    assert entry.spec_hash == spec_hash(observed_result.spec)
+    assert entry.run_digest == run_digest(observed_result)
+    assert entry.metrics["n_flows"] == observed_result.n_flows
+    assert entry.metrics["events_processed"] == observed_result.events_processed
+    assert entry.has_series
+    assert serialize_series(entry.load_series()) == serialize_series(
+        observed_result.telemetry.series
+    )
+    assert ledger.get(entry.key).key == entry.key
+
+
+def test_ledger_same_run_same_key_idempotent(tmp_path, observed_result):
+    ledger = RunLedger(tmp_path / "ledger")
+    first = ledger.put(observed_result)
+    entry_bytes = (first.path / "entry.json").read_bytes()
+    second = ledger.put(observed_result)
+    assert second.key == first.key
+    assert (second.path / "entry.json").read_bytes() == entry_bytes
+    assert len(ledger.entries()) == 1
+
+
+def test_ledger_detects_content_collision(tmp_path, observed_result):
+    ledger = RunLedger(tmp_path / "ledger")
+    entry = ledger.put(observed_result)
+    # Corrupt the stored spec under the same key: content-addressing is
+    # violated, so a re-put must refuse rather than silently overwrite.
+    doc = json.loads((entry.path / "entry.json").read_text())
+    doc["spec"]["seed"] = 999
+    (entry.path / "entry.json").write_text(json.dumps(doc))
+    with pytest.raises(LedgerCollisionError):
+        ledger.put(observed_result)
+
+
+def test_ledger_families_group_across_seeds(tmp_path):
+    ledger = RunLedger(tmp_path / "ledger")
+    for seed in (42, 43):
+        ledger.put(
+            run_experiment(
+                _tiny_spec(
+                    seed=seed,
+                    observability=ObservabilityConfig(sample_period=50e-6),
+                )
+            )
+        )
+    families = ledger.families()
+    assert len(families) == 1
+    members = next(iter(families.values()))
+    assert {m.meta["seed"] for m in members} == {42, 43}
+    assert len({m.spec_hash for m in members}) == 2
+
+
+def test_ledger_bench_reports_append_in_order(tmp_path):
+    ledger = RunLedger(tmp_path / "ledger")
+    ledger.put_bench({"scale": "small", "date": "2026-08-08", "instances": {}})
+    ledger.put_bench({"scale": "medium", "date": "2026-08-08", "instances": {}})
+    ledger.put_bench({"scale": "small", "date": "2026-08-09", "instances": {}})
+    reports = ledger.bench_reports()
+    assert [r["scale"] for r in reports] == ["small", "medium", "small"]
+    assert ledger.latest_bench("medium")["date"] == "2026-08-08"
+    assert ledger.latest_bench("small")["date"] == "2026-08-09"
+    assert ledger.latest_bench("large") is None
+
+
+def test_result_metrics_are_strict_json(observed_result):
+    metrics = result_metrics(observed_result)
+    # json.dumps with allow_nan=False rejects NaN/inf — the store's
+    # contract is that every stored number is strict JSON.
+    json.dumps(metrics, allow_nan=False)
+    assert metrics["completion_rate"] == 1.0
