@@ -59,26 +59,35 @@ REGRESSION_FACTOR = 1.25
 SMOKE_INSTANCE = "fig3-phost"
 
 PROTOCOLS = ("phost", "pfabric", "fastpass", "dctcp")
-SIZE_TO_SCALE = {"small": "tiny", "medium": "bench"}
+#: ``large`` is the paper-scale 144-host instance — minutes, not
+#: seconds; its baseline lives under the per-scale ``"scales"`` key.
+SIZE_TO_SCALE = {"small": "tiny", "medium": "bench", "large": "full"}
 
 
-def _instances(size: str):
+def _instances(size: str, backend: str = "pure"):
     """Pinned benchmark instances: name -> zero-arg runner.
 
     Each runner returns ``(wall_excluded_result, digest, events, pkts)``.
+    ``backend`` selects the inner-loop implementation (digest-inert by
+    contract; the A/B mode asserts that).
     """
     scale = SIZE_TO_SCALE[size]
     preset = SCALES[scale]
+    tuning = SimTuning(backend=backend)
     out = {}
     for proto in PROTOCOLS:
 
         def run_fig3(proto=proto):
-            res = run_experiment(make_spec(proto, "websearch", scale, seed=42))
+            res = run_experiment(
+                make_spec(proto, "websearch", scale, seed=42).variant(tuning=tuning)
+            )
             pkts = res.data_pkts_injected + res.control_pkts_sent
             return res, run_digest(res), res.events_processed, pkts
 
         def run_fig5(proto=proto):
-            res = run_experiment(make_spec(proto, "datamining", scale, seed=42))
+            res = run_experiment(
+                make_spec(proto, "datamining", scale, seed=42).variant(tuning=tuning)
+            )
             pkts = res.data_pkts_injected + res.control_pkts_sent
             return res, run_digest(res), res.events_processed, pkts
 
@@ -90,6 +99,7 @@ def _instances(size: str):
                 n_requests=preset.incast_requests,
                 topology=preset.topology,
                 seed=42,
+                tuning=tuning,
             )
             return res, incast_digest(res), None, None
 
@@ -186,8 +196,16 @@ def _profile_instance(name: str, size: str) -> str:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--scale", choices=("small", "medium"), default="small")
+    ap.add_argument("--scale", choices=("small", "medium", "large"), default="small")
     ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument(
+        "--backend",
+        choices=("pure", "compiled", "both"),
+        default="pure",
+        help="inner-loop backend to time; 'both' times pure and compiled "
+        "back-to-back and fails if their digests differ (falls back to "
+        "pure-only with a warning when no compiled extension imports)",
+    )
     ap.add_argument(
         "--instances",
         default=None,
@@ -232,7 +250,26 @@ def main(argv=None) -> int:
     )
     args = ap.parse_args(argv)
 
-    runners = _instances(args.scale)
+    backend = args.backend
+    if backend in ("compiled", "both"):
+        from repro.sim.backend import backend_info
+
+        info = backend_info()
+        if not info["compiled_available"]:
+            print(
+                "WARNING: --backend "
+                f"{backend} requested but no compiled extension imports; "
+                "running pure only. Build one with: "
+                "python scripts/build_backend.py",
+                file=sys.stderr,
+            )
+            backend = "pure"
+        else:
+            print(f"compiled backend: {info['source']}")
+
+    primary = "compiled" if backend == "compiled" else "pure"
+    runners = _instances(args.scale, primary)
+    ab_runners = _instances(args.scale, "compiled") if backend == "both" else {}
     if args.instances:
         wanted = args.instances.split(",")
         unknown = [w for w in wanted if w not in runners]
@@ -249,16 +286,25 @@ def main(argv=None) -> int:
         # Captured before this run is appended, so --check compares
         # against the *previous* stored report.
         ledger_baseline = ledger.latest_bench(args.scale)
+        # Wall clocks only compare within one backend: a compiled run
+        # in the ledger must not make a pure run look like a regression.
+        if (
+            ledger_baseline is not None
+            and ledger_baseline.get("backend", "pure") != primary
+        ):
+            ledger_baseline = None
 
     baseline = (
         json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
     )
     # Wall-clock only compares within a scale; a small-tier baseline says
-    # nothing about medium-tier runs.
+    # nothing about medium-tier runs.  Non-default scales live under the
+    # per-scale "scales" key (the top level stays the small tier, which
+    # older tooling reads directly).
     base_instances = (
         baseline.get("instances", {})
         if baseline.get("scale") == args.scale
-        else {}
+        else baseline.get("scales", {}).get(args.scale, {}).get("instances", {})
     )
     # The ledger's most recent same-scale report (this machine's own
     # history) beats the committed baseline when present.
@@ -273,6 +319,7 @@ def main(argv=None) -> int:
         "date": datetime.date.today().isoformat(),
         "scale": args.scale,
         "repeats": args.repeats,
+        "backend": backend,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "instances": {},
@@ -282,6 +329,18 @@ def main(argv=None) -> int:
     for name, runner in runners.items():
         wall, result, digest, events, pkts = _time_runner(runner, args.repeats)
         row = {"wall_seconds": round(wall, 4), "digest": digest}
+        if name in ab_runners:
+            c_wall, _, c_digest, _, _ = _time_runner(
+                ab_runners[name], args.repeats
+            )
+            row["compiled_wall_seconds"] = round(c_wall, 4)
+            row["compiled_speedup"] = round(wall / c_wall, 3)
+            if c_digest != digest:
+                row["compiled_digest"] = c_digest
+                failures.append(
+                    f"{name}: compiled backend digest differs from pure "
+                    "(behaviour drift — the compiled core is broken)"
+                )
         if ledger is not None and hasattr(result, "spec"):
             # fig3/fig5 rows are ExperimentResults; store them content-
             # addressed so dashboards/diffs can consume bench runs too.
@@ -315,6 +374,8 @@ def main(argv=None) -> int:
             row["speedup_vs_tuning_baseline"] = round(off / wall, 3)
         report["instances"][name] = row
         extra = ""
+        if "compiled_speedup" in row:
+            extra += f"  {row['compiled_speedup']:.2f}x compiled"
         if "vs_baseline" in row:
             extra += f"  {row['vs_baseline']:.2f}x vs committed baseline"
         if "speedup_vs_tuning_baseline" in row:
@@ -355,8 +416,19 @@ def main(argv=None) -> int:
 
     if args.update_baseline:
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
-        BASELINE_PATH.write_text(
-            json.dumps(
+        slim_instances = {
+            k: (
+                {"wall_seconds": v["wall_seconds"], "events": v["events"]}
+                if "events" in v
+                else {"wall_seconds": v["wall_seconds"]}
+            )
+            for k, v in report["instances"].items()
+        }
+        updated = baseline if isinstance(baseline, dict) else {}
+        if updated.get("scale") in (None, args.scale):
+            # Default (small) tier: top-level entry, as older tooling
+            # and tests/perf/test_bench_smoke.py expect.
+            updated.update(
                 {
                     "note": (
                         "Committed wall-clock baseline for scripts/bench.py. "
@@ -365,19 +437,19 @@ def main(argv=None) -> int:
                     "date": report["date"],
                     "scale": args.scale,
                     "python": report["python"],
-                    "instances": {
-                        k: (
-                            {"wall_seconds": v["wall_seconds"], "events": v["events"]}
-                            if "events" in v
-                            else {"wall_seconds": v["wall_seconds"]}
-                        )
-                        for k, v in report["instances"].items()
-                    },
-                },
-                indent=2,
-                sort_keys=True,
+                    "instances": slim_instances,
+                }
             )
-            + "\n"
+        else:
+            # Other tiers nest under "scales" so one file carries every
+            # scale without clobbering the default entry.
+            updated.setdefault("scales", {})[args.scale] = {
+                "date": report["date"],
+                "python": report["python"],
+                "instances": slim_instances,
+            }
+        BASELINE_PATH.write_text(
+            json.dumps(updated, indent=2, sort_keys=True) + "\n"
         )
         print(f"updated {BASELINE_PATH}")
 

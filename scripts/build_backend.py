@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Build the optional compiled inner-loop backend.
+
+Tries, in order, stopping at the first success:
+
+1. **mypyc** on ``src/repro/sim/hotpath.py`` -> ``repro.sim._hotpath_compiled``
+2. **Cython** (pure-Python mode) on the same file -> same module name
+3. the hand-written **C core** ``src/repro/sim/_hotcore.c``
+   -> ``repro.sim._hotcore``
+
+All three land the built shared object next to the sources under
+``src/repro/sim/`` so a plain ``PYTHONPATH=src`` run picks it up; the
+selector (:mod:`repro.sim.backend`) prefers ``_hotcore`` when both
+exist.  Nothing is installed into site-packages and no package is
+downloaded — only the local toolchain (gcc + Python headers) is used.
+
+When no toolchain variant works the script exits 0 with a visible
+warning: the compiled backend is *optional* by design and every caller
+(bench, CI, SimTuning) degrades to the pure loop.
+
+Usage::
+
+    python scripts/build_backend.py            # build (or rebuild)
+    python scripts/build_backend.py --check    # report what would import
+    python scripts/build_backend.py --clean    # remove built artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SIM_DIR = ROOT / "src" / "repro" / "sim"
+HOTPATH = SIM_DIR / "hotpath.py"
+HOTCORE_C = SIM_DIR / "_hotcore.c"
+
+EXT_SUFFIXES = (".so", ".pyd", ".dylib")
+
+
+def _built_artifacts() -> list:
+    out = []
+    for stem in ("_hotcore", "_hotpath_compiled"):
+        for p in SIM_DIR.glob(f"{stem}*"):
+            if p.suffix in EXT_SUFFIXES or p.name.endswith(
+                tuple(s + ".py" for s in ())
+            ):
+                out.append(p)
+        # mypyc also emits a <stem>__mypyc shim and build dirs
+        for p in SIM_DIR.glob(f"{stem}__mypyc*"):
+            out.append(p)
+    return sorted(set(out))
+
+
+def clean() -> None:
+    for p in _built_artifacts():
+        print(f"removing {p.relative_to(ROOT)}")
+        p.unlink()
+    for d in (ROOT / "build",):
+        if d.is_dir():
+            shutil.rmtree(d)
+
+
+def _verify(module: str) -> bool:
+    """Import the freshly built module in a clean subprocess."""
+    code = (
+        f"import {module} as m; "
+        "assert hasattr(m, 'drive'), 'drive missing'; "
+        f"print('{module}: OK,', [n for n in dir(m) if not n.startswith('_')])"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(ROOT / "src")},
+        capture_output=True,
+        text=True,
+    )
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+    return proc.returncode == 0
+
+
+def try_mypyc() -> bool:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        print("mypyc: not installed, skipping")
+        return False
+    # mypyc compiles <name>.py into <name>.<abi>.so; compile a copy so
+    # the extension shadows nothing and gets the right module name.
+    target = SIM_DIR / "_hotpath_compiled.py"
+    target.write_text(HOTPATH.read_text())
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypyc", str(target)],
+            cwd=SIM_DIR,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            print("mypyc: build failed, falling through")
+            return False
+    finally:
+        target.unlink(missing_ok=True)
+    return _verify("repro.sim._hotpath_compiled")
+
+
+def try_cython() -> bool:
+    try:
+        import Cython  # noqa: F401
+    except ImportError:
+        print("Cython: not installed, skipping")
+        return False
+    from setuptools import Extension
+    from Cython.Build import cythonize  # type: ignore
+
+    target = SIM_DIR / "_hotpath_compiled.py"
+    target.write_text(HOTPATH.read_text())
+    try:
+        ext = Extension(
+            "repro.sim._hotpath_compiled", [str(target.relative_to(ROOT))]
+        )
+        ok = _build_ext(cythonize(ext, language_level=3))
+    finally:
+        target.unlink(missing_ok=True)
+        (SIM_DIR / "_hotpath_compiled.c").unlink(missing_ok=True)
+    return ok and _verify("repro.sim._hotpath_compiled")
+
+
+def try_c_core() -> bool:
+    if not HOTCORE_C.is_file():
+        print("_hotcore.c: source missing, skipping")
+        return False
+    if not (Path(sysconfig.get_path("include")) / "Python.h").is_file():
+        print("C core: Python.h not found, skipping")
+        return False
+    from setuptools import Extension
+
+    ext = Extension(
+        "repro.sim._hotcore", [str(HOTCORE_C.relative_to(ROOT))]
+    )
+    return _build_ext([ext]) and _verify("repro.sim._hotcore")
+
+
+def _build_ext(extensions) -> bool:
+    """Run setuptools build_ext --inplace for the given extensions."""
+    from setuptools import Distribution
+
+    dist = Distribution(
+        {
+            "name": "repro-hotcore-build",
+            "ext_modules": extensions,
+            "package_dir": {"": "src"},
+        }
+    )
+    import os
+
+    old_cwd = os.getcwd()
+    os.chdir(ROOT)  # relative source paths + inplace output under src/
+    try:
+        cmd = dist.get_command_obj("build_ext")
+        cmd.inplace = True
+        dist.run_command("build_ext")
+    except Exception as exc:  # compiler errors surface here
+        print(f"build_ext failed: {exc}", file=sys.stderr)
+        return False
+    finally:
+        os.chdir(old_cwd)
+    return True
+
+
+def check() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.sim.backend import backend_info
+
+    info = backend_info()
+    for key, val in sorted(info.items()):
+        print(f"{key}: {val}")
+    return 0 if info["compiled_available"] else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report whether a compiled backend imports (exit 1 if not)",
+    )
+    parser.add_argument(
+        "--clean", action="store_true", help="remove built artifacts"
+    )
+    args = parser.parse_args()
+    if args.clean:
+        clean()
+        return 0
+    if args.check:
+        return check()
+
+    for name, builder in (
+        ("mypyc", try_mypyc),
+        ("Cython", try_cython),
+        ("C core", try_c_core),
+    ):
+        print(f"--- trying {name} ---")
+        if builder():
+            print(f"compiled backend built via {name}")
+            return 0
+    print(
+        "WARNING: no compiler toolchain produced a backend "
+        "(tried mypyc, Cython, C core); the simulator will run the "
+        "pure-Python loop. This affects speed only — results are "
+        "digest-identical by contract.",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

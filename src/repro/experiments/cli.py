@@ -106,6 +106,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCALES),
         help="run-size preset (default: bench)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("pure", "compiled", "auto"),
+        help=(
+            "inner-loop backend for --run/--sweep/--replay (SimTuning."
+            "backend): 'pure' (default), 'compiled' (built extension; "
+            "warns and falls back if absent), or 'auto'.  Digest-inert "
+            "by contract — only wall-clock changes"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--load", type=float, default=0.6, help="network load for --run")
     parser.add_argument("--flows", type=int, default=None, help="flow count for --run")
@@ -515,6 +526,18 @@ def _list_dataplanes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_variant(spec: ExperimentSpec, args: argparse.Namespace) -> ExperimentSpec:
+    """Apply ``--backend`` onto the spec's tuning (keeping other knobs)."""
+    if getattr(args, "backend", None) is None:
+        return spec
+    from dataclasses import replace as _dc_replace
+
+    from repro.sim.tuning import SimTuning
+
+    tuning = spec.tuning if spec.tuning is not None else SimTuning()
+    return spec.variant(tuning=_dc_replace(tuning, backend=args.backend))
+
+
 def _run_single(args: argparse.Namespace) -> int:
     protocol, workload = args.run
     overrides = dict(load=args.load, seed=args.seed)
@@ -533,7 +556,7 @@ def _run_single(args: argparse.Namespace) -> int:
         faults=_fault_plan(args),
         **workload_changes,
     )
-    result = run_experiment(spec)
+    result = run_experiment(_backend_variant(spec, args))
     _emit_result(result, args.json)
     _handle_telemetry(result, args)
     _store_result(result, args)
@@ -562,7 +585,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         except TypeError:
             print(f"error: ExperimentSpec has no field {field_name!r}", file=sys.stderr)
             return 2
-        result = run_experiment(spec)
+        result = run_experiment(_backend_variant(spec, args))
         table.add_row(
             **{
                 field_name: value,
@@ -594,7 +617,7 @@ def _run_replay(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     flows = load_flows(args.replay, n_hosts=preset.topology.n_hosts)
-    result = run_flow_list(spec, flows)
+    result = run_flow_list(_backend_variant(spec, args), flows)
     _emit_result(result, args.json)
     _handle_telemetry(result, args)
     _store_result(result, args)

@@ -123,9 +123,14 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
     drivers (incast, examples) can reuse the wiring.
     """
     tuning = spec.tuning if spec.tuning is not None else SimTuning()
+    from repro.sim.backend import resolve_backend
+
+    backend = resolve_backend(tuning.backend)
     env = EventLoop(timer_resolution=tuning.wheel_resolution)
     env.timer_wheel_enabled = tuning.timer_wheel
     env.drain_enabled = tuning.inline_drain
+    env.batch_dispatch = tuning.batch_dispatch
+    backend.apply(env)
     rng = SeededRng(spec.seed)
     proto = get_protocol(spec.protocol)
     topo = spec.with_topology_buffer()
@@ -134,6 +139,10 @@ def build_simulation(spec: ExperimentSpec) -> SimContext:
 
     fabric_cls = FatTreeFabric if isinstance(topo, FatTreeConfig) else Fabric
     binding, switch_qf, host_qf = _resolve_dataplane(spec, proto, tuning)
+    # A compiled backend may substitute its queue class for exact
+    # PriorityQueue products (subclassed/tapped queues pass through).
+    switch_qf = backend.wrap_queue_factory(switch_qf)
+    host_qf = backend.wrap_queue_factory(host_qf)
     fabric = fabric_cls(
         env,
         topo,

@@ -134,6 +134,9 @@ class Packet:
             and echoed back on ACKs by ECN-aware receivers.
         hops: Number of switch ports traversed so far (drop accounting).
         born: Time the packet was created (queueing-delay metrics).
+        slot: Row index in the run's
+            :class:`~repro.net.columns.PacketColumns` store when this
+            packet is a pooled columnar view; -1 for plain packets.
     """
 
     __slots__ = (
@@ -150,6 +153,7 @@ class Packet:
         "ecn",
         "hops",
         "born",
+        "slot",
         "payload",
     )
 
@@ -177,6 +181,7 @@ class Packet:
         self.ecn = 0
         self.hops = 0
         self.born = born
+        self.slot = -1  # columnar row index (see repro.net.columns)
         self.payload = None  # free-form (Fastpass schedules)
 
     @property

@@ -1,11 +1,18 @@
-"""Packet freelist.
+"""Packet freelist over a columnar store.
 
 Simulations churn through one short-lived :class:`~repro.net.packet.Packet`
-object per wire packet.  The pool recycles them: a packet delivered to a
-host is reset and parked on a freelist, and the next send reuses it
-instead of allocating.  Packets are pure value objects here — nothing in
-the simulator keeps a reference past delivery (instrumentation hooks
-record scalars, not packets; a hook that *does* retain them must set
+object per wire packet.  The pool recycles them — but since PR 9 the
+thing recycled is an integer *slot* in a preallocated struct-of-arrays
+:class:`~repro.net.columns.PacketColumns` store, not a Packet object:
+the freelist is a stack of ints, each slot lazily materializes one
+cached ``Packet`` view on first use, and compiled backends can address
+packet state by index without touching Python objects.  Protocol code
+is oblivious: acquire helpers still hand out ``Packet``s, and a reused
+view is indistinguishable from a fresh packet.
+
+Packets are pure value objects here — nothing in the simulator keeps a
+reference past delivery (instrumentation hooks record scalars, not
+packets; a hook that *does* retain them must set
 ``retains_packets = True``, which makes the runner disable pooling for
 that run) — so reuse is invisible to protocol logic and to run digests.
 
@@ -13,18 +20,20 @@ Two safety properties hold by construction:
 
 * only packets that reach :meth:`repro.net.node.Host.receive` are ever
   released — dropped packets simply fall out of scope and are never
-  recycled, so ``fabric.keep_dropped`` stays sound;
-* :meth:`release` resets every mutable field, so a reused packet is
-  indistinguishable from a fresh one.
+  recycled (their slots stay retired for the run), so
+  ``fabric.keep_dropped`` stays sound;
+* :meth:`release` resets every mutable field — view and columns — so a
+  reused slot is indistinguishable from a fresh one.
 
 With ``enabled = False`` the acquire helpers degrade to plain
-construction, so call sites never branch.
+construction (no slots, no column writes), so call sites never branch.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.net.columns import PacketColumns
 from repro.net.packet import Flow, Packet, PacketType
 from repro.sim.units import CONTROL_BYTES
 
@@ -32,7 +41,7 @@ __all__ = ["PacketPool"]
 
 
 class PacketPool:
-    """A bounded freelist of :class:`Packet` objects.
+    """A bounded slot freelist over :class:`PacketColumns`.
 
     One pool per run, owned by the
     :class:`~repro.sim.context.SimContext`.  The object is created with
@@ -40,15 +49,29 @@ class PacketPool:
     only ``enabled`` is flipped by the runner.
     """
 
-    __slots__ = ("enabled", "max_free", "allocated", "reused", "released", "_free")
+    __slots__ = (
+        "enabled",
+        "max_free",
+        "allocated",
+        "reused",
+        "released",
+        "columns",
+        "_free",
+    )
 
-    def __init__(self, enabled: bool = False, max_free: int = 4096) -> None:
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_free: int = 4096,
+        capacity: int = 256,
+    ) -> None:
         self.enabled = enabled
         self.max_free = max_free
-        self.allocated = 0  # fresh Packet constructions
+        self.allocated = 0  # fresh slot/Packet acquisitions
         self.reused = 0     # acquisitions served from the freelist
-        self.released = 0   # packets parked for reuse
-        self._free: List[Packet] = []
+        self.released = 0   # slots parked for reuse
+        self.columns = PacketColumns(capacity)
+        self._free: List[int] = []  # parked slots, LIFO
 
     # ------------------------------------------------------------------
     def data(
@@ -61,21 +84,19 @@ class PacketPool:
         priority: int,
         born: float,
     ) -> Packet:
-        """Acquire a DATA packet (fresh or recycled)."""
+        """Acquire a DATA packet (recycled slot, fresh slot, or plain)."""
         free = self._free
         if free:
-            pkt = free.pop()
             self.reused += 1
-            pkt.ptype = PacketType.DATA
-            pkt.flow = flow
-            pkt.seq = seq
-            pkt.src = src
-            pkt.dst = dst
-            pkt.size = size
-            pkt.priority = priority
-            pkt.born = born
-            return pkt
+            return self.columns.stamp(
+                free.pop(), PacketType.DATA, flow, seq, src, dst, size, priority, born
+            )
         self.allocated += 1
+        if self.enabled:
+            return self.columns.stamp(
+                self.columns.acquire(),
+                PacketType.DATA, flow, seq, src, dst, size, priority, born,
+            )
         return Packet(PacketType.DATA, flow, seq, src, dst, size, priority=priority, born=born)
 
     def control(
@@ -90,52 +111,47 @@ class PacketPool:
         """Acquire a 40-byte highest-priority control packet."""
         free = self._free
         if free:
-            pkt = free.pop()
             self.reused += 1
-            pkt.ptype = ptype
-            pkt.flow = flow
-            pkt.seq = seq
-            pkt.src = src
-            pkt.dst = dst
-            pkt.size = CONTROL_BYTES
-            pkt.priority = 0
-            pkt.born = born
-            return pkt
+            return self.columns.stamp(
+                free.pop(), ptype, flow, seq, src, dst, CONTROL_BYTES, 0, born
+            )
         self.allocated += 1
+        if self.enabled:
+            return self.columns.stamp(
+                self.columns.acquire(),
+                ptype, flow, seq, src, dst, CONTROL_BYTES, 0, born,
+            )
         return Packet(ptype, flow, seq, src, dst, CONTROL_BYTES, priority=0, born=born)
 
     # ------------------------------------------------------------------
     def release(self, pkt: Packet) -> None:
-        """Park a delivered packet for reuse (no-op while disabled).
-
-        Every mutable field is reset here rather than on acquire, so the
-        freelist holds packets indistinguishable from fresh ones and the
-        acquire helpers only write the fields they are given.
-        """
+        """Park a delivered packet's slot for reuse (no-op while
+        disabled, for plain packets, and past the ``max_free`` cap —
+        over-cap slots simply retire, exactly as over-cap packets used
+        to fall out of scope)."""
         if not self.enabled:
+            return
+        slot = pkt.slot
+        if slot < 0:  # plain packet from a pre-enable acquire
             return
         free = self._free
         if len(free) >= self.max_free:
             return
-        pkt.flow = None
-        pkt.payload = None
-        pkt.remaining = 0
-        pkt.data_prio = 0
-        pkt.expiry = 0.0
-        pkt.ecn = 0
-        pkt.hops = 0
-        free.append(pkt)
+        self.columns.reset(slot)
+        free.append(slot)
         self.released += 1
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        return {
+        out = {
             "enabled": self.enabled,
             "allocated": self.allocated,
             "reused": self.reused,
             "released": self.released,
             "free": len(self._free),
         }
+        out.update({f"columns_{k}": v for k, v in self.columns.stats().items()})
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -237,8 +237,25 @@ class EventLoopProfiler:
         rows.sort(key=lambda r: r["self_seconds"], reverse=True)
         return rows
 
-    def report(self, top: int = 20) -> str:
-        """Plain-text table of the hottest event types."""
+    def hotspots(self, top: int = 5) -> List[Dict[str, float]]:
+        """The ``top`` hottest event types with their self-time share.
+
+        Each row is a :meth:`ranked` row plus ``share`` — the fraction
+        of *all* profiled handler self-time spent in that type — so a
+        reader can tell at a glance whether the run is dominated by a
+        few handlers (optimize those) or spread thin (optimize the
+        dispatch loop itself).  ``mean_seconds`` is the per-event cost.
+        """
+        total = self.wall_self_seconds
+        rows = self.ranked()[:top]
+        for row in rows:
+            row["share"] = row["self_seconds"] / total if total > 0 else 0.0
+        return rows
+
+    def report(self, top: int = 20, hotspot_top: int = 5) -> str:
+        """Plain-text table of the hottest event types, headed by a
+        one-line-per-handler hotspot summary (share of total self-time
+        and per-event cost)."""
         wheel = self.timer_wheel()
         lines = [
             f"event-loop profile: {self.total_events} events, "
@@ -248,9 +265,18 @@ class EventLoopProfiler:
             f"{wheel.get('cancelled', 0)} cancelled / "
             f"{wheel.get('poured', 0)} poured, "
             f"{wheel.get('timers_to_heap', 0)} straight to heap",
-            f"{'event type':44s} {'count':>10s} {'self ms':>9s} "
-            f"{'mean us':>9s} {'max us':>8s}",
         ]
+        for i, row in enumerate(self.hotspots(hotspot_top), start=1):
+            lines.append(
+                f"hotspot #{i}: {row['event']}  "
+                f"{row['share']:.1%} of self-time "
+                f"({row['mean_seconds'] * 1e6:.2f} us/event x "
+                f"{row['count']:,d} events)"
+            )
+        lines.append(
+            f"{'event type':44s} {'count':>10s} {'self ms':>9s} "
+            f"{'mean us':>9s} {'max us':>8s}"
+        )
         for row in self.ranked()[:top]:
             lines.append(
                 f"{str(row['event'])[:44]:44s} {row['count']:>10d} "

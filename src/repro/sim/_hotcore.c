@@ -1,0 +1,928 @@
+/* Compiled inner-loop core for the repro simulator.
+ *
+ * Statement-for-statement C twin of the two hottest code paths:
+ *
+ *   drive(loop, until, max_events)
+ *       == repro.sim.engine.EventLoop.run (incl. the same-timestamp
+ *          batch sweep).  The Python reference lives in
+ *          repro/sim/hotpath.py: when debugging, diff against it.
+ *   CPriorityQueue(capacity_bytes, n_bands=8)
+ *       == repro.net.queues.PriorityQueue (strict-priority bands over
+ *          one shared byte budget, drop-tail, low-band hint; push
+ *          returns the shared _NO_DROP sentinel).
+ *
+ * Semantics contract: the parity suite (tests/sim/test_backend_parity.py)
+ * holds full-run digests byte-identical between this module and the
+ * pure loop, so every state update here must mirror the reference
+ * exactly — including which Python objects (not values) land in
+ * loop.now, and the precise order of _live/_cancelled/now updates
+ * around each callback, which re-entrant paths (cancel, try_advance,
+ * schedule) observe mid-flight.
+ *
+ * Event entries are the engine's small lists [when, seq, fn, args,
+ * owner(, tick)].  Heap order is fully decided by (when, seq): seq is
+ * unique per loop, so comparisons never reach the callback slot, and a
+ * double/int64 compare here matches CPython's numeric rich compare on
+ * the mixed int/float times exactly (times are finite and |seq| << 2^53
+ * never matters since seq is compared as an integer).
+ *
+ * Built by scripts/build_backend.py; selected via SimTuning.backend
+ * ("compiled" / "auto") through repro.sim.backend.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h> /* T_LONGLONG / T_PYSSIZET / READONLY */
+#include <stddef.h>
+#include <math.h>
+
+/* ------------------------------------------------------------------ */
+/* Interned attribute names / imported sentinels                       */
+/* ------------------------------------------------------------------ */
+
+static PyObject *s__heap, *s_wheel, *s__clock_watcher, *s_batch_dispatch,
+    *s__stopped, *s__until, *s__no_drain, *s_drain_enabled, *s_now,
+    *s__live, *s__cancelled, *s_batches, *s_batched_events,
+    *s_events_processed, *s_next_hint, *s_advance, *s_advance_until_poured,
+    *s_size, *s_priority;
+
+static PyObject *no_drop = NULL; /* repro.net.queues._NO_DROP */
+
+/* ------------------------------------------------------------------ */
+/* Small attribute helpers                                             */
+/* ------------------------------------------------------------------ */
+
+/* Truthiness of o.<name>; -1 on error. */
+static int
+attr_truth(PyObject *o, PyObject *name)
+{
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (v == NULL)
+        return -1;
+    int t = PyObject_IsTrue(v);
+    Py_DECREF(v);
+    return t;
+}
+
+/* o.<name> as double; on error returns -1.0 with exception set. */
+static double
+attr_double(PyObject *o, PyObject *name, int *err)
+{
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (v == NULL) {
+        *err = 1;
+        return -1.0;
+    }
+    double d = PyFloat_AsDouble(v);
+    Py_DECREF(v);
+    if (d == -1.0 && PyErr_Occurred()) {
+        *err = 1;
+        return -1.0;
+    }
+    return d;
+}
+
+/* o.<name> += delta (integer attribute); -1 on error. */
+static int
+attr_add_ll(PyObject *o, PyObject *name, long long delta)
+{
+    PyObject *v = PyObject_GetAttr(o, name);
+    if (v == NULL)
+        return -1;
+    long long cur = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (cur == -1 && PyErr_Occurred())
+        return -1;
+    PyObject *nv = PyLong_FromLongLong(cur + delta);
+    if (nv == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(o, name, nv);
+    Py_DECREF(nv);
+    return rc;
+}
+
+/* (when, seq) key of an event entry; -1 on error. */
+static int
+entry_key(PyObject *entry, double *when, long long *seq)
+{
+    PyObject *w = PyList_GET_ITEM(entry, 0);
+    if (PyFloat_CheckExact(w)) {
+        *when = PyFloat_AS_DOUBLE(w);
+    }
+    else {
+        *when = PyFloat_AsDouble(w);
+        if (*when == -1.0 && PyErr_Occurred())
+            return -1;
+    }
+    *seq = PyLong_AsLongLong(PyList_GET_ITEM(entry, 1));
+    if (*seq == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* a < b in (when, seq) order */
+#define KEY_LT(wa, sa, wb, sb) ((wa) < (wb) || ((wa) == (wb) && (sa) < (sb)))
+
+/* ------------------------------------------------------------------ */
+/* Heap primitives (ordering-identical to heapq on the entry lists)    */
+/* ------------------------------------------------------------------ */
+
+/* Pop the minimum entry; returns a new reference, NULL on error.
+ * The heap must be non-empty. */
+static PyObject *
+heap_pop_min(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 1)
+        return last; /* heap is now empty */
+    PyObject *out = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(out);
+    double lw;
+    long long ls;
+    if (entry_key(last, &lw, &ls) < 0) {
+        /* Restore shape: drop our copy of last back at the root. */
+        PyList_SetItem(heap, 0, last); /* steals last; decrefs out copy */
+        Py_DECREF(out);
+        return NULL;
+    }
+    Py_ssize_t size = n - 1;
+    Py_ssize_t pos = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= size)
+            break;
+        PyObject *c_entry = PyList_GET_ITEM(heap, child);
+        double cw;
+        long long cs;
+        if (entry_key(c_entry, &cw, &cs) < 0)
+            goto key_fail;
+        Py_ssize_t right = child + 1;
+        if (right < size) {
+            PyObject *r_entry = PyList_GET_ITEM(heap, right);
+            double rw;
+            long long rs;
+            if (entry_key(r_entry, &rw, &rs) < 0)
+                goto key_fail;
+            if (KEY_LT(rw, rs, cw, cs)) {
+                child = right;
+                c_entry = r_entry;
+                cw = rw;
+                cs = rs;
+            }
+        }
+        if (KEY_LT(lw, ls, cw, cs))
+            break;
+        Py_INCREF(c_entry);
+        PyList_SetItem(heap, pos, c_entry); /* decrefs stale occupant */
+        pos = child;
+    }
+    PyList_SetItem(heap, pos, last); /* steals our ref to last */
+    return out;
+
+key_fail:
+    PyList_SetItem(heap, pos, last);
+    Py_DECREF(out);
+    return NULL;
+}
+
+/* Push an entry (sift up); 0 on success. */
+static int
+heap_push(PyObject *heap, PyObject *entry)
+{
+    if (PyList_Append(heap, entry) < 0)
+        return -1;
+    Py_ssize_t pos = PyList_GET_SIZE(heap) - 1;
+    double ew;
+    long long es;
+    if (entry_key(entry, &ew, &es) < 0)
+        return -1;
+    Py_INCREF(entry); /* our floating copy while sifting */
+    while (pos > 0) {
+        Py_ssize_t parent_pos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parent_pos);
+        double pw;
+        long long ps;
+        if (entry_key(parent, &pw, &ps) < 0) {
+            Py_DECREF(entry);
+            return -1;
+        }
+        if (!KEY_LT(ew, es, pw, ps))
+            break;
+        Py_INCREF(parent);
+        PyList_SetItem(heap, pos, parent);
+        pos = parent_pos;
+    }
+    PyList_SetItem(heap, pos, entry); /* steals our floating copy */
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* drive(loop, until, max_events)                                      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+drive(PyObject *Py_UNUSED(module), PyObject *args)
+{
+    PyObject *loop, *until, *max_events;
+    if (!PyArg_ParseTuple(args, "OOO:drive", &loop, &until, &max_events))
+        return NULL;
+
+    PyObject *heap = PyObject_GetAttr(loop, s__heap);
+    if (heap == NULL)
+        return NULL;
+    if (!PyList_CheckExact(heap)) {
+        Py_DECREF(heap);
+        PyErr_SetString(PyExc_TypeError, "loop._heap must be a list");
+        return NULL;
+    }
+    PyObject *wheel = PyObject_GetAttr(loop, s_wheel);
+    if (wheel == NULL) {
+        Py_DECREF(heap);
+        return NULL;
+    }
+    PyObject *watcher = PyObject_GetAttr(loop, s__clock_watcher);
+    if (watcher == NULL)
+        goto early_fail;
+    int batch = attr_truth(loop, s_batch_dispatch);
+    if (batch < 0)
+        goto early_fail;
+
+    int failed = 0;
+    long long executed = 0;
+
+    if (PyObject_SetAttr(loop, s__stopped, Py_False) < 0)
+        goto early_fail;
+    if (PyObject_SetAttr(loop, s__until, until) < 0)
+        goto early_fail;
+    {
+        int drain_on = attr_truth(loop, s_drain_enabled);
+        if (drain_on < 0)
+            goto early_fail;
+        int no_drain = (max_events != Py_None) || !drain_on;
+        if (PyObject_SetAttr(loop, s__no_drain,
+                             no_drain ? Py_True : Py_False) < 0)
+            goto early_fail;
+    }
+    double limit = INFINITY;
+    if (until != Py_None) {
+        limit = PyFloat_AsDouble(until);
+        if (limit == -1.0 && PyErr_Occurred())
+            goto fail;
+    }
+    long long budget = -1;
+    if (max_events != Py_None) {
+        budget = PyLong_AsLongLong(max_events);
+        if (budget == -1 && PyErr_Occurred())
+            goto fail;
+        if (budget < 0)
+            budget = 0;
+    }
+
+    for (;;) {
+        int stopped = attr_truth(loop, s__stopped);
+        if (stopped < 0)
+            goto fail;
+        if (stopped)
+            break;
+        if (executed == budget)
+            break;
+
+        /* Timer-wheel pour (cold; method calls into the Python wheel). */
+        int wlive = attr_truth(wheel, s__live);
+        if (wlive < 0)
+            goto fail;
+        if (wlive) {
+            int pour = 0;
+            if (PyList_GET_SIZE(heap) == 0) {
+                pour = 1;
+            }
+            else {
+                double hw;
+                long long hs;
+                if (entry_key(PyList_GET_ITEM(heap, 0), &hw, &hs) < 0)
+                    goto fail;
+                int err = 0;
+                double hint = attr_double(wheel, s_next_hint, &err);
+                if (err)
+                    goto fail;
+                if (hw >= hint)
+                    pour = 2;
+            }
+            if (pour) {
+                PyObject *r;
+                if (pour == 1) {
+                    r = PyObject_CallMethodObjArgs(
+                        wheel, s_advance_until_poured, heap, NULL);
+                }
+                else {
+                    PyObject *t = PyList_GET_ITEM(PyList_GET_ITEM(heap, 0), 0);
+                    r = PyObject_CallMethodObjArgs(wheel, s_advance, t, heap,
+                                                   NULL);
+                }
+                if (r == NULL)
+                    goto fail;
+                Py_DECREF(r);
+                continue;
+            }
+        }
+
+        if (PyList_GET_SIZE(heap) == 0) {
+            if (until != Py_None) {
+                int err = 0;
+                double nownow = attr_double(loop, s_now, &err);
+                if (err)
+                    goto fail;
+                if (limit > nownow &&
+                    PyObject_SetAttr(loop, s_now, until) < 0)
+                    goto fail;
+            }
+            break;
+        }
+
+        PyObject *entry = PyList_GET_ITEM(heap, 0); /* borrowed */
+        PyObject *fn = PyList_GET_ITEM(entry, 2);   /* borrowed */
+        if (fn == Py_None) { /* cancelled — drop silently */
+            PyObject *dead = heap_pop_min(heap);
+            if (dead == NULL)
+                goto fail;
+            Py_DECREF(dead);
+            if (attr_add_ll(loop, s__cancelled, -1) < 0)
+                goto fail;
+            continue;
+        }
+        double when;
+        long long seq;
+        if (entry_key(entry, &when, &seq) < 0)
+            goto fail;
+        if (when > limit) {
+            if (PyObject_SetAttr(loop, s_now, until) < 0)
+                goto fail;
+            break;
+        }
+        PyObject *popped = heap_pop_min(heap); /* own ref (== entry) */
+        if (popped == NULL)
+            goto fail;
+        Py_INCREF(fn);
+        /* Mark as fired *before* any observer can run (see run()). */
+        Py_INCREF(Py_None);
+        PyList_SetItem(popped, 2, Py_None); /* decrefs list's fn ref */
+        if (attr_add_ll(loop, s__live, -1) < 0) {
+            Py_DECREF(fn);
+            Py_DECREF(popped);
+            goto fail;
+        }
+        PyObject *when_obj = PyList_GET_ITEM(popped, 0); /* borrowed */
+        if (watcher != Py_None) {
+            PyObject *now_obj = PyObject_GetAttr(loop, s_now);
+            if (now_obj == NULL) {
+                Py_DECREF(fn);
+                Py_DECREF(popped);
+                goto fail;
+            }
+            double nownow = PyFloat_AsDouble(now_obj);
+            if (nownow == -1.0 && PyErr_Occurred()) {
+                Py_DECREF(now_obj);
+                Py_DECREF(fn);
+                Py_DECREF(popped);
+                goto fail;
+            }
+            if (when < nownow) {
+                PyObject *r = PyObject_CallFunctionObjArgs(
+                    watcher, now_obj, when_obj, NULL);
+                if (r == NULL) {
+                    Py_DECREF(now_obj);
+                    Py_DECREF(fn);
+                    Py_DECREF(popped);
+                    goto fail;
+                }
+                Py_DECREF(r);
+            }
+            Py_DECREF(now_obj);
+        }
+        if (PyObject_SetAttr(loop, s_now, when_obj) < 0) {
+            Py_DECREF(fn);
+            Py_DECREF(popped);
+            goto fail;
+        }
+        {
+            PyObject *cbargs = PyList_GET_ITEM(popped, 3); /* tuple */
+            Py_INCREF(cbargs);
+            PyObject *res = PyObject_CallObject(fn, cbargs);
+            Py_DECREF(cbargs);
+            Py_DECREF(fn);
+            Py_DECREF(popped);
+            if (res == NULL)
+                goto fail;
+            Py_DECREF(res);
+        }
+        executed++;
+
+        if (!batch)
+            continue;
+
+        /* Same-timestamp sweep — see the commentary in EventLoop.run. */
+        long long swept = 0;
+        for (;;) {
+            if (PyList_GET_SIZE(heap) == 0)
+                break;
+            int stopped2 = attr_truth(loop, s__stopped);
+            if (stopped2 < 0)
+                goto fail;
+            if (stopped2 || executed == budget)
+                break;
+            int wlive2 = attr_truth(wheel, s__live);
+            if (wlive2 < 0)
+                goto fail;
+            if (wlive2) {
+                int err = 0;
+                double hint = attr_double(wheel, s_next_hint, &err);
+                if (err)
+                    goto fail;
+                if (when >= hint)
+                    break; /* outer loop pours, then resumes the tie */
+            }
+            PyObject *head = PyList_GET_ITEM(heap, 0);
+            double hw;
+            long long hs;
+            if (entry_key(head, &hw, &hs) < 0)
+                goto fail;
+            if (hw != when)
+                break;
+            PyObject *hfn = PyList_GET_ITEM(head, 2);
+            PyObject *hpopped = heap_pop_min(heap);
+            if (hpopped == NULL)
+                goto fail;
+            if (hfn == Py_None) { /* cancelled mid-batch */
+                Py_DECREF(hpopped);
+                if (attr_add_ll(loop, s__cancelled, -1) < 0)
+                    goto fail;
+                continue;
+            }
+            Py_INCREF(hfn);
+            Py_INCREF(Py_None);
+            PyList_SetItem(hpopped, 2, Py_None);
+            if (attr_add_ll(loop, s__live, -1) < 0) {
+                Py_DECREF(hfn);
+                Py_DECREF(hpopped);
+                goto fail;
+            }
+            PyObject *hargs = PyList_GET_ITEM(hpopped, 3);
+            Py_INCREF(hargs);
+            PyObject *hres = PyObject_CallObject(hfn, hargs);
+            Py_DECREF(hargs);
+            Py_DECREF(hfn);
+            Py_DECREF(hpopped);
+            if (hres == NULL)
+                goto fail;
+            Py_DECREF(hres);
+            executed++;
+            swept++;
+        }
+        if (swept) {
+            if (attr_add_ll(loop, s_batches, 1) < 0 ||
+                attr_add_ll(loop, s_batched_events, swept) < 0)
+                goto fail;
+        }
+    }
+    goto done;
+
+fail:
+    failed = 1;
+done:
+    /* The reference loop's `finally:` — runs on success and error. */
+    if (PyObject_SetAttr(loop, s__no_drain, Py_True) < 0)
+        failed = 1;
+    if (PyObject_SetAttr(loop, s__until, Py_None) < 0)
+        failed = 1;
+    Py_DECREF(heap);
+    Py_DECREF(wheel);
+    Py_DECREF(watcher);
+    if (failed)
+        return NULL;
+    if (attr_add_ll(loop, s_events_processed, executed) < 0)
+        return NULL;
+    return PyLong_FromLongLong(executed);
+
+early_fail:
+    Py_DECREF(heap);
+    Py_XDECREF(wheel);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* CPriorityQueue                                                      */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject **buf;
+    Py_ssize_t cap;
+    Py_ssize_t head;
+    Py_ssize_t count;
+} Ring;
+
+typedef struct {
+    PyObject_HEAD
+    long long capacity_bytes;
+    long long bytes_queued;
+    Py_ssize_t pkts_queued;
+    int n_bands;
+    int lo;
+    Ring *bands;
+} CPQObject;
+
+static int
+ring_append(Ring *r, PyObject *item)
+{
+    if (r->head + r->count == r->cap) {
+        if (r->head > 0) {
+            memmove(r->buf, r->buf + r->head, r->count * sizeof(PyObject *));
+            r->head = 0;
+        }
+        else {
+            Py_ssize_t ncap = r->cap ? r->cap * 2 : 8;
+            PyObject **nbuf =
+                PyMem_Realloc(r->buf, ncap * sizeof(PyObject *));
+            if (nbuf == NULL) {
+                PyErr_NoMemory();
+                return -1;
+            }
+            r->buf = nbuf;
+            r->cap = ncap;
+        }
+    }
+    Py_INCREF(item);
+    r->buf[r->head + r->count] = item;
+    r->count++;
+    return 0;
+}
+
+/* Transfers the reference to the caller. */
+static PyObject *
+ring_popleft(Ring *r)
+{
+    PyObject *item = r->buf[r->head];
+    r->head++;
+    r->count--;
+    if (r->count == 0)
+        r->head = 0;
+    return item;
+}
+
+static int
+cpq_init(CPQObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"capacity_bytes", "n_bands", NULL};
+    long long capacity;
+    int n_bands = 8;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "L|i:CPriorityQueue",
+                                     kwlist, &capacity, &n_bands))
+        return -1;
+    if (n_bands < 1) {
+        PyErr_SetString(PyExc_ValueError, "need at least one priority band");
+        return -1;
+    }
+    self->capacity_bytes = capacity;
+    self->bytes_queued = 0;
+    self->pkts_queued = 0;
+    self->n_bands = n_bands;
+    self->lo = 0;
+    self->bands = PyMem_Calloc((size_t)n_bands, sizeof(Ring));
+    if (self->bands == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    return 0;
+}
+
+static int
+cpq_traverse(CPQObject *self, visitproc visit, void *arg)
+{
+    if (self->bands != NULL) {
+        for (int b = 0; b < self->n_bands; b++) {
+            Ring *r = &self->bands[b];
+            for (Py_ssize_t i = 0; i < r->count; i++)
+                Py_VISIT(r->buf[r->head + i]);
+        }
+    }
+    return 0;
+}
+
+static int
+cpq_clear(CPQObject *self)
+{
+    if (self->bands != NULL) {
+        for (int b = 0; b < self->n_bands; b++) {
+            Ring *r = &self->bands[b];
+            for (Py_ssize_t i = 0; i < r->count; i++)
+                Py_CLEAR(r->buf[r->head + i]);
+            r->count = 0;
+            r->head = 0;
+        }
+    }
+    self->pkts_queued = 0;
+    self->bytes_queued = 0;
+    return 0;
+}
+
+static void
+cpq_dealloc(CPQObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    cpq_clear(self);
+    if (self->bands != NULL) {
+        for (int b = 0; b < self->n_bands; b++)
+            PyMem_Free(self->bands[b].buf);
+        PyMem_Free(self->bands);
+    }
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+cpq_push(CPQObject *self, PyObject *pkt)
+{
+    PyObject *size_obj = PyObject_GetAttr(pkt, s_size);
+    if (size_obj == NULL)
+        return NULL;
+    long long size = PyLong_AsLongLong(size_obj);
+    Py_DECREF(size_obj);
+    if (size == -1 && PyErr_Occurred())
+        return NULL;
+    if (self->bytes_queued + size > self->capacity_bytes) {
+        /* drop-tail: a fresh (mutable) list, matching the reference */
+        PyObject *dropped = PyList_New(1);
+        if (dropped == NULL)
+            return NULL;
+        Py_INCREF(pkt);
+        PyList_SET_ITEM(dropped, 0, pkt);
+        return dropped;
+    }
+    PyObject *prio_obj = PyObject_GetAttr(pkt, s_priority);
+    if (prio_obj == NULL)
+        return NULL;
+    long long band = PyLong_AsLongLong(prio_obj);
+    Py_DECREF(prio_obj);
+    if (band == -1 && PyErr_Occurred())
+        return NULL;
+    if (band < 0)
+        band = 0;
+    else if (band >= self->n_bands)
+        band = self->n_bands - 1;
+    if (ring_append(&self->bands[band], pkt) < 0)
+        return NULL;
+    if ((int)band < self->lo)
+        self->lo = (int)band;
+    self->bytes_queued += size;
+    self->pkts_queued++;
+    Py_INCREF(no_drop);
+    return no_drop;
+}
+
+static PyObject *
+cpq_pop(CPQObject *self, PyObject *Py_UNUSED(ignored))
+{
+    if (self->pkts_queued == 0)
+        Py_RETURN_NONE;
+    int i = self->lo;
+    while (self->bands[i].count == 0)
+        i++;
+    self->lo = i;
+    PyObject *pkt = ring_popleft(&self->bands[i]); /* we own the ref */
+    PyObject *size_obj = PyObject_GetAttr(pkt, s_size);
+    if (size_obj == NULL) {
+        Py_DECREF(pkt);
+        return NULL;
+    }
+    long long size = PyLong_AsLongLong(size_obj);
+    Py_DECREF(size_obj);
+    if (size == -1 && PyErr_Occurred()) {
+        Py_DECREF(pkt);
+        return NULL;
+    }
+    self->bytes_queued -= size;
+    self->pkts_queued--;
+    return pkt;
+}
+
+static PyObject *
+cpq_peek(CPQObject *self, PyObject *Py_UNUSED(ignored))
+{
+    for (int b = 0; b < self->n_bands; b++) {
+        Ring *r = &self->bands[b];
+        if (r->count) {
+            PyObject *item = r->buf[r->head];
+            Py_INCREF(item);
+            return item;
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static Py_ssize_t
+cpq_len(CPQObject *self)
+{
+    return self->pkts_queued;
+}
+
+static int
+cpq_bool(CPQObject *self)
+{
+    return self->pkts_queued > 0;
+}
+
+static PyObject *
+cpq_get_n_bands(CPQObject *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLong(self->n_bands);
+}
+
+static PyObject *
+cpq_get_bands(CPQObject *self, void *Py_UNUSED(closure))
+{
+    PyObject *out = PyList_New(self->n_bands);
+    if (out == NULL)
+        return NULL;
+    for (int b = 0; b < self->n_bands; b++) {
+        Ring *r = &self->bands[b];
+        PyObject *band = PyList_New(r->count);
+        if (band == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        for (Py_ssize_t i = 0; i < r->count; i++) {
+            PyObject *item = r->buf[r->head + i];
+            Py_INCREF(item);
+            PyList_SET_ITEM(band, i, item);
+        }
+        PyList_SET_ITEM(out, b, band);
+    }
+    return out;
+}
+
+static PyObject *
+cpq_repr(CPQObject *self)
+{
+    return PyUnicode_FromFormat("CPriorityQueue(%lld/%lldB, %zd pkts)",
+                                self->bytes_queued, self->capacity_bytes,
+                                self->pkts_queued);
+}
+
+static PyMemberDef cpq_members[] = {
+    {"capacity_bytes", T_LONGLONG, offsetof(CPQObject, capacity_bytes),
+     READONLY, "shared byte budget"},
+    {"bytes_queued", T_LONGLONG, offsetof(CPQObject, bytes_queued), READONLY,
+     "bytes currently buffered"},
+    {"pkts_queued", T_PYSSIZET, offsetof(CPQObject, pkts_queued), READONLY,
+     "packets currently buffered"},
+    {NULL},
+};
+
+static PyGetSetDef cpq_getset[] = {
+    {"n_bands", (getter)cpq_get_n_bands, NULL, "number of priority bands",
+     NULL},
+    {"bands", (getter)cpq_get_bands, NULL,
+     "band contents as lists (copies, oldest first)", NULL},
+    {NULL},
+};
+
+static PyMethodDef cpq_methods[] = {
+    {"push", (PyCFunction)cpq_push, METH_O,
+     "Enqueue; returns dropped packets (drop-tail: incoming only)."},
+    {"pop", (PyCFunction)cpq_pop, METH_NOARGS,
+     "Dequeue strict-priority FIFO; None when empty."},
+    {"peek", (PyCFunction)cpq_peek, METH_NOARGS,
+     "Next packet to serialize without removing it; None when empty."},
+    {NULL},
+};
+
+static PySequenceMethods cpq_as_sequence = {
+    .sq_length = (lenfunc)cpq_len,
+};
+
+static PyNumberMethods cpq_as_number = {
+    .nb_bool = (inquiry)cpq_bool,
+};
+
+static PyTypeObject CPQType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._hotcore.CPriorityQueue",
+    .tp_basicsize = sizeof(CPQObject),
+    .tp_dealloc = (destructor)cpq_dealloc,
+    .tp_repr = (reprfunc)cpq_repr,
+    .tp_as_sequence = &cpq_as_sequence,
+    .tp_as_number = &cpq_as_number,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "C twin of repro.net.queues.PriorityQueue",
+    .tp_traverse = (traverseproc)cpq_traverse,
+    .tp_clear = (inquiry)cpq_clear,
+    .tp_methods = cpq_methods,
+    .tp_members = cpq_members,
+    .tp_getset = cpq_getset,
+    .tp_init = (initproc)cpq_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module-level heap helpers (parity tests)                            */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+mod_hpush(PyObject *Py_UNUSED(module), PyObject *args)
+{
+    PyObject *heap, *entry;
+    if (!PyArg_ParseTuple(args, "O!O!:hpush", &PyList_Type, &heap,
+                          &PyList_Type, &entry))
+        return NULL;
+    if (heap_push(heap, entry) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+mod_hpop(PyObject *Py_UNUSED(module), PyObject *args)
+{
+    PyObject *heap;
+    if (!PyArg_ParseTuple(args, "O!:hpop", &PyList_Type, &heap))
+        return NULL;
+    if (PyList_GET_SIZE(heap) == 0) {
+        PyErr_SetString(PyExc_IndexError, "pop from empty heap");
+        return NULL;
+    }
+    return heap_pop_min(heap);
+}
+
+static PyMethodDef hotcore_methods[] = {
+    {"drive", drive, METH_VARARGS,
+     "drive(loop, until, max_events) -> int\n"
+     "Compiled twin of EventLoop.run; see repro/sim/hotpath.py."},
+    {"hpush", mod_hpush, METH_VARARGS, "heap push on (time, seq) entries"},
+    {"hpop", mod_hpop, METH_VARARGS, "heap pop-min on (time, seq) entries"},
+    {NULL},
+};
+
+static struct PyModuleDef hotcore_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._hotcore",
+    .m_doc = "Compiled inner-loop core (dispatch loop + priority queue).",
+    .m_size = -1,
+    .m_methods = hotcore_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__hotcore(void)
+{
+#define INTERN(var, text)                                                  \
+    do {                                                                   \
+        var = PyUnicode_InternFromString(text);                            \
+        if (var == NULL)                                                   \
+            return NULL;                                                   \
+    } while (0)
+    INTERN(s__heap, "_heap");
+    INTERN(s_wheel, "wheel");
+    INTERN(s__clock_watcher, "_clock_watcher");
+    INTERN(s_batch_dispatch, "batch_dispatch");
+    INTERN(s__stopped, "_stopped");
+    INTERN(s__until, "_until");
+    INTERN(s__no_drain, "_no_drain");
+    INTERN(s_drain_enabled, "drain_enabled");
+    INTERN(s_now, "now");
+    INTERN(s__live, "_live");
+    INTERN(s__cancelled, "_cancelled");
+    INTERN(s_batches, "batches");
+    INTERN(s_batched_events, "batched_events");
+    INTERN(s_events_processed, "events_processed");
+    INTERN(s_next_hint, "next_hint");
+    INTERN(s_advance, "advance");
+    INTERN(s_advance_until_poured, "advance_until_poured");
+    INTERN(s_size, "size");
+    INTERN(s_priority, "priority");
+#undef INTERN
+
+    /* The shared no-drop sentinel must be the same object the pure
+     * queues return, so `dropped is _NO_DROP` style checks agree. */
+    PyObject *queues = PyImport_ImportModule("repro.net.queues");
+    if (queues == NULL)
+        return NULL;
+    no_drop = PyObject_GetAttrString(queues, "_NO_DROP");
+    Py_DECREF(queues);
+    if (no_drop == NULL)
+        return NULL;
+
+    if (PyType_Ready(&CPQType) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&hotcore_module);
+    if (m == NULL)
+        return NULL;
+    Py_INCREF(&CPQType);
+    if (PyModule_AddObject(m, "CPriorityQueue", (PyObject *)&CPQType) < 0) {
+        Py_DECREF(&CPQType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

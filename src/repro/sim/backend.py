@@ -1,0 +1,173 @@
+"""Inner-loop backend selection (``SimTuning.backend``).
+
+The simulator always *behaves* like the pure-Python reference; this
+module decides which machine code runs it.  Three spellings:
+
+* ``"pure"`` (default) — the inlined loop in
+  :class:`repro.sim.engine.EventLoop` and the hand-optimized queue
+  classes in :mod:`repro.net.queues`.  The digest-pinned reference.
+* ``"compiled"`` — the optional accelerated extension, resolved in
+  order: the hand-written C core ``repro.sim._hotcore``, then a
+  mypyc/Cython build of :mod:`repro.sim.hotpath`
+  (``repro.sim._hotpath_compiled``).  Both are produced by
+  ``scripts/build_backend.py``.  When neither imports, the run falls
+  back to pure with a **visible** ``RuntimeWarning`` — asking for the
+  compiled backend is a statement of intent, and silently not getting
+  it would poison benchmark comparisons.
+* ``"auto"`` — compiled if available, pure otherwise, silently.
+
+A selected compiled backend contributes up to two pieces, each
+independently optional so partial builds still help:
+
+* ``drive(loop, until, max_events)`` — a compiled twin of
+  ``EventLoop.run`` (installed via ``EventLoop.set_drive``);
+* a ``PriorityQueue``-compatible class, swapped in for exactly
+  :class:`repro.net.queues.PriorityQueue` instances at fabric build
+  time (subclasses — e.g. tapped or marking queues — keep their Python
+  implementation, since compiled code cannot honor overrides).
+
+Every backend is digest-inert by contract; the parity suite runs the
+full 4-protocol × 2-seed digest matrix on both when a compiled
+extension is importable.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "Backend",
+    "resolve_backend",
+    "compiled_available",
+    "backend_info",
+]
+
+
+class Backend:
+    """One resolved inner-loop implementation."""
+
+    __slots__ = ("name", "source", "drive", "priority_queue")
+
+    def __init__(
+        self,
+        name: str,
+        source: Optional[str] = None,
+        drive: Optional[Callable[..., int]] = None,
+        priority_queue: Optional[type] = None,
+    ) -> None:
+        self.name = name
+        #: Module that provided the implementation (None for pure).
+        self.source = source
+        self.drive = drive
+        self.priority_queue = priority_queue
+
+    def apply(self, env: Any) -> None:
+        """Install this backend's dispatch loop into an event loop."""
+        if self.drive is not None:
+            env.set_drive(self.drive)
+
+    def wrap_queue_factory(
+        self, factory: Callable[[int], Any]
+    ) -> Callable[[int], Any]:
+        """Swap exact ``PriorityQueue`` products for the backend's
+        compiled queue (build-time seam; other queue types pass
+        through untouched)."""
+        pq = self.priority_queue
+        if pq is None:
+            return factory
+        from repro.net.queues import PriorityQueue
+
+        def wrapped(capacity_bytes: int) -> Any:
+            q = factory(capacity_bytes)
+            if type(q) is PriorityQueue:
+                return pq(q.capacity_bytes, q.n_bands)
+            return q
+
+        return wrapped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Backend({self.name!r}, source={self.source!r})"
+
+
+_PURE = Backend("pure")
+_cached_compiled: Optional[Backend] = None
+_warned = False
+
+
+def _load_compiled() -> Optional[Backend]:
+    """Resolve the best available compiled extension (cached)."""
+    global _cached_compiled
+    if _cached_compiled is not None:
+        return _cached_compiled
+    try:
+        from repro.sim import _hotcore  # type: ignore[attr-defined]
+    except ImportError:
+        pass
+    else:
+        _cached_compiled = Backend(
+            "compiled",
+            source="repro.sim._hotcore",
+            drive=getattr(_hotcore, "drive", None),
+            priority_queue=getattr(_hotcore, "CPriorityQueue", None),
+        )
+        return _cached_compiled
+    try:
+        from repro.sim import _hotpath_compiled  # type: ignore[attr-defined]
+    except ImportError:
+        return None
+    _cached_compiled = Backend(
+        "compiled",
+        source="repro.sim._hotpath_compiled",
+        drive=getattr(_hotpath_compiled, "drive", None),
+        priority_queue=getattr(_hotpath_compiled, "HotPriorityQueue", None),
+    )
+    return _cached_compiled
+
+
+def compiled_available() -> bool:
+    """True when a compiled extension imports."""
+    return _load_compiled() is not None
+
+
+def resolve_backend(name: str) -> Backend:
+    """Map a ``SimTuning.backend`` value to a :class:`Backend`.
+
+    ``"compiled"`` without a built extension warns (once per process)
+    and returns pure — loudly degraded, never silently different.
+    """
+    if name == "pure":
+        return _PURE
+    if name in ("compiled", "auto"):
+        backend = _load_compiled()
+        if backend is not None:
+            return backend
+        if name == "compiled":
+            global _warned
+            if not _warned:
+                _warned = True
+                warnings.warn(
+                    "SimTuning.backend='compiled' requested but no compiled "
+                    "extension is importable (repro.sim._hotcore / "
+                    "_hotpath_compiled); falling back to the pure backend. "
+                    "Build one with: python scripts/build_backend.py",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return _PURE
+    raise ValueError(
+        f"unknown backend {name!r}; choose 'pure', 'compiled', or 'auto'"
+    )
+
+
+def backend_info() -> Dict[str, Any]:
+    """What the compiled backend resolves to right now (for bench/CLI)."""
+    backend = _load_compiled()
+    return {
+        "compiled_available": backend is not None,
+        "source": backend.source if backend is not None else None,
+        "has_drive": backend is not None and backend.drive is not None,
+        "has_priority_queue": (
+            backend is not None and backend.priority_queue is not None
+        ),
+    }

@@ -81,6 +81,13 @@ class EventLoop:
             to plain heap scheduling (the pure-heap escape hatch).
         drain_enabled: When False, :meth:`try_advance` always refuses,
             forcing every port departure through the scheduler.
+        batch_dispatch: When True (the default), :meth:`run` drains all
+            events tied at the head timestamp in one ``(time, seq)``-
+            sorted sweep, skipping the per-event heap/limit/watcher
+            checks inside the tie.  Dispatch order is identical either
+            way; ``batches`` / ``batched_events`` count the sweeps.
+        batches/batched_events: How many same-timestamp sweeps ran and
+            how many events they covered beyond the first of each tie.
     """
 
     __slots__ = (
@@ -89,7 +96,10 @@ class EventLoop:
         "wheel",
         "timer_wheel_enabled",
         "drain_enabled",
+        "batch_dispatch",
         "timers_to_heap",
+        "batches",
+        "batched_events",
         "_heap",
         "_seq",
         "_stopped",
@@ -97,6 +107,7 @@ class EventLoop:
         "_cancelled",
         "_clock_watcher",
         "_profiler",
+        "_drive",
         "_until",
         "_no_drain",
     )
@@ -107,7 +118,10 @@ class EventLoop:
         self.wheel = TimerWheel(self, timer_resolution)
         self.timer_wheel_enabled: bool = True
         self.drain_enabled: bool = True
+        self.batch_dispatch: bool = True
         self.timers_to_heap: int = 0  # schedule_timer calls the wheel declined
+        self.batches: int = 0  # same-timestamp sweeps that swept > 1 event
+        self.batched_events: int = 0  # events dispatched inside sweeps
         self._heap: List[list] = []
         self._seq: int = 0
         self._stopped: bool = False
@@ -115,6 +129,7 @@ class EventLoop:
         self._cancelled: int = 0  # cancelled entries still in the heap
         self._clock_watcher: Optional[Callable[[float, float], None]] = None
         self._profiler: Optional[Any] = None
+        self._drive: Optional[Callable[..., int]] = None  # compiled run()
         self._until: Optional[float] = None  # active run() horizon
         self._no_drain: bool = True  # try_advance only allowed inside run()
 
@@ -252,9 +267,18 @@ class EventLoop:
         """
         if self._profiler is not None:
             return self._run_profiled(until, max_events)
+        if self._drive is not None:
+            # Compiled backend: an extension function with the exact
+            # semantics of the loop below (the determinism suite holds
+            # the two byte-identical).  It maintains now / _live /
+            # _cancelled / events_processed on this object at every
+            # callback boundary, so re-entrant paths (cancel,
+            # try_advance, schedule) behave identically.
+            return self._drive(self, until, max_events)
         heap = self._heap
         wheel = self.wheel
         pop = heapq.heappop
+        batch = self.batch_dispatch
         executed = 0
         self._stopped = False
         self._until = until
@@ -308,6 +332,41 @@ class EventLoop:
                 self.now = when
                 fn(*entry[3])
                 executed += 1
+                if not batch:
+                    continue
+                # Same-timestamp sweep: every further event tied at
+                # ``when`` runs here without re-checking heap-emptiness,
+                # the ``until`` limit, or the clock watcher — the head
+                # time cannot move backwards, ``now`` already equals
+                # ``when``, and ties can never trip the watcher.  The
+                # wheel check must stay: a callback may park a timer
+                # whose pour is due at ``when`` itself (e.g. the run's
+                # first wheel timer, scheduled one tick out from a
+                # cursor that is still behind), and that timer's seq
+                # orders it *between* heap ties.  Stop/budget checks
+                # stay per-event so metering is identical either way.
+                swept = 0
+                while heap:
+                    if self._stopped or executed == budget:
+                        break
+                    if wheel._live and when >= wheel.next_hint:
+                        break  # outer loop pours, then resumes the tie
+                    head = heap[0]
+                    if head[0] != when:
+                        break
+                    fn = head[_FN]
+                    pop(heap)
+                    if fn is None:  # cancelled mid-batch
+                        self._cancelled -= 1
+                        continue
+                    head[_FN] = None
+                    self._live -= 1
+                    fn(*head[3])
+                    executed += 1
+                    swept += 1
+                if swept:
+                    self.batches += 1
+                    self.batched_events += swept
         finally:
             self._no_drain = True
             self._until = None
@@ -430,6 +489,19 @@ class EventLoop:
     def profiler(self) -> Optional[Any]:
         """The installed event-loop profiler, if any."""
         return self._profiler
+
+    def set_drive(self, drive: Optional[Callable[..., int]]) -> None:
+        """Install (or remove, with ``None``) a compiled ``run()`` twin.
+
+        ``drive(loop, until, max_events)`` must execute events with the
+        exact semantics of the pure loop — same dispatch order, same
+        counter updates, same ``finally`` discipline — and return the
+        number of callbacks executed.  Installed by
+        :func:`repro.sim.backend.apply_backend` when the compiled
+        backend is selected; profiled runs always use the pure
+        instrumented twin regardless.
+        """
+        self._drive = drive
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current callback."""

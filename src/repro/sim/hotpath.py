@@ -1,0 +1,300 @@
+"""The carved-out inner loop, in compilable form.
+
+This module isolates the two hottest algorithms of the simulator — the
+event-dispatch loop of :class:`repro.sim.engine.EventLoop` and the
+strict-priority port queue of :class:`repro.net.queues.PriorityQueue` —
+as self-contained, statically-typed code with no dynamic dispatch of
+its own: every function is a flat loop over local variables, ints,
+floats, and lists, which is exactly the shape ``mypyc`` (or Cython's
+pure-Python mode) compiles well.
+
+Three roles, one source:
+
+* **reference twin** — ``drive()`` and :class:`HotPriorityQueue` are
+  semantically *identical* to the inlined loop in ``EventLoop.run`` and
+  to ``PriorityQueue``; the parity tests hold them byte-identical on
+  full run digests and randomized queue workloads.  Any change to the
+  engine hot loop must land here too (and vice versa) or the suite
+  fails.
+* **compile target** — ``scripts/build_backend.py`` compiles this file
+  with mypyc (Cython fallback) into ``repro.sim._hotpath_compiled``;
+  the backend selector picks it up when the hand-written C extension
+  (``repro.sim._hotcore``) is unavailable.
+* **specification for the C core** — ``_hotcore.c`` implements these
+  functions statement for statement; when debugging the C path, diff
+  against this file.
+
+The timing-wheel cascade stays in :mod:`repro.sim.wheel` and is called
+out-of-line from ``drive()``: pours are rare (amortized over hundreds
+of dispatches), so compiling the cascade buys nothing, and keeping one
+implementation avoids drift in its cursor arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.net.queues import _NO_DROP
+
+__all__ = ["drive", "HotPriorityQueue", "heap_push", "heap_pop_min"]
+
+_FN = 2  # callback slot inside an event entry (see repro.sim.engine)
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Heap primitives
+# ----------------------------------------------------------------------
+def heap_push(heap: List[list], entry: list) -> None:
+    """Sift an entry into the event heap, comparing ``(time, seq)``.
+
+    Identical ordering to ``heapq.heappush`` on the entry lists — seq
+    is unique per loop, so list comparison never reaches the callback
+    slot — but expressed with explicit float/int key loads so a
+    compiler emits unboxed comparisons.
+    """
+    heap.append(entry)
+    pos = len(heap) - 1
+    # Entry times may be int or float (schedule_at accepts both); keep
+    # these unannotated so a compiler boxes the comparison correctly.
+    when = entry[0]
+    seq = entry[1]
+    while pos > 0:
+        parent_pos = (pos - 1) >> 1
+        parent = heap[parent_pos]
+        p_when = parent[0]
+        if when > p_when or (when == p_when and seq > parent[1]):
+            break
+        heap[pos] = parent
+        pos = parent_pos
+    heap[pos] = entry
+
+
+def heap_pop_min(heap: List[list]) -> list:
+    """Pop the earliest entry (min ``(time, seq)``); heap must be
+    non-empty.  Ordering-identical to ``heapq.heappop``."""
+    last = heap.pop()
+    if not heap:
+        return last
+    out = heap[0]
+    # Sift the displaced tail element down from the root.
+    pos = 0
+    size = len(heap)
+    when = last[0]
+    seq = last[1]
+    while True:
+        child = 2 * pos + 1
+        if child >= size:
+            break
+        right = child + 1
+        if right < size:
+            c_entry = heap[child]
+            r_entry = heap[right]
+            c_when = c_entry[0]
+            r_when = r_entry[0]
+            if r_when < c_when or (r_when == c_when and r_entry[1] < c_entry[1]):
+                child = right
+        c_entry = heap[child]
+        c_when = c_entry[0]
+        if when < c_when or (when == c_when and seq < c_entry[1]):
+            break
+        heap[pos] = c_entry
+        pos = child
+    heap[pos] = last
+    return out
+
+
+# ----------------------------------------------------------------------
+# Event dispatch
+# ----------------------------------------------------------------------
+def drive(loop: Any, until: Optional[float], max_events: Optional[int]) -> int:
+    """Execute events with the exact semantics of ``EventLoop.run``.
+
+    Statement-for-statement twin of the inlined pure loop (including
+    the same-timestamp batch sweep and its wheel re-check); maintains
+    ``now`` / ``_live`` / ``_cancelled`` / ``events_processed`` on the
+    loop object at every callback boundary so re-entrant paths
+    (``cancel``, ``try_advance``, ``schedule``) observe identical
+    state.  Installed via ``EventLoop.set_drive`` by the backend
+    selector; the parity suite holds full-run digests byte-identical
+    against the inlined loop.
+    """
+    heap: List[list] = loop._heap
+    wheel = loop.wheel
+    batch: bool = loop.batch_dispatch
+    watcher = loop._clock_watcher
+    executed = 0
+    loop._stopped = False
+    loop._until = until
+    loop._no_drain = (max_events is not None) or not loop.drain_enabled
+    limit: float = until if until is not None else _INF
+    budget: int = -1 if max_events is None else max(max_events, 0)
+    try:
+        while True:
+            if loop._stopped:
+                break
+            if executed == budget:
+                break
+            if wheel._live and (not heap or heap[0][0] >= wheel.next_hint):
+                if heap:
+                    wheel.advance(heap[0][0], heap)
+                else:
+                    wheel.advance_until_poured(heap)
+                continue
+            if not heap:
+                if until is not None and until > loop.now:
+                    loop.now = until
+                break
+            entry = heap[0]
+            fn = entry[_FN]
+            if fn is None:  # cancelled — drop silently
+                heap_pop_min(heap)
+                loop._cancelled -= 1
+                continue
+            when = entry[0]
+            if when > limit:
+                loop.now = until
+                break
+            heap_pop_min(heap)
+            entry[_FN] = None  # fired: see the ordering note in run()
+            loop._live -= 1
+            if when < loop.now and watcher is not None:
+                watcher(loop.now, when)
+            loop.now = when
+            fn(*entry[3])
+            executed += 1
+            if not batch:
+                continue
+            swept = 0
+            while heap:
+                if loop._stopped or executed == budget:
+                    break
+                if wheel._live and when >= wheel.next_hint:
+                    break  # outer loop pours, then resumes the tie
+                head = heap[0]
+                if head[0] != when:
+                    break
+                fn = head[_FN]
+                heap_pop_min(heap)
+                if fn is None:  # cancelled mid-batch
+                    loop._cancelled -= 1
+                    continue
+                head[_FN] = None
+                loop._live -= 1
+                fn(*head[3])
+                executed += 1
+                swept += 1
+            if swept:
+                loop.batches += 1
+                loop.batched_events += swept
+    finally:
+        loop._no_drain = True
+        loop._until = None
+    loop.events_processed += executed
+    return executed
+
+
+# ----------------------------------------------------------------------
+# Strict-priority port queue
+# ----------------------------------------------------------------------
+class HotPriorityQueue:
+    """Typed twin of :class:`repro.net.queues.PriorityQueue`.
+
+    Same contract, attribute for attribute (``push`` returns the shared
+    no-drop sentinel or ``[pkt]``; ``pop`` is strict-priority FIFO with
+    the low-band hint), implemented over per-band lists with explicit
+    head cursors instead of deques — the layout both mypyc and the C
+    core want.  Heads are compacted once they pass half the band, so
+    amortized pop cost matches the deque version.
+    """
+
+    __slots__ = (
+        "capacity_bytes",
+        "bytes_queued",
+        "pkts_queued",
+        "_n_bands",
+        "_lo",
+        "_bands",
+        "_heads",
+    )
+
+    def __init__(self, capacity_bytes: int, n_bands: int = 8) -> None:
+        if n_bands < 1:
+            raise ValueError("need at least one priority band")
+        self.capacity_bytes = capacity_bytes
+        self._n_bands = n_bands
+        self._bands: List[List[Any]] = [[] for _ in range(n_bands)]
+        self._heads: List[int] = [0] * n_bands
+        self.bytes_queued = 0
+        self.pkts_queued = 0
+        self._lo = 0
+
+    @property
+    def n_bands(self) -> int:
+        return self._n_bands
+
+    @property
+    def bands(self) -> List[List[Any]]:
+        """Live band contents (copies), mirroring ``PriorityQueue.bands``."""
+        return [band[head:] for band, head in zip(self._bands, self._heads)]
+
+    def push(self, pkt: Any) -> List[Any]:
+        size: int = pkt.size
+        if self.bytes_queued + size > self.capacity_bytes:
+            return [pkt]
+        band: int = pkt.priority
+        if band < 0:
+            band = 0
+        elif band >= self._n_bands:
+            band = self._n_bands - 1
+        self._bands[band].append(pkt)
+        if band < self._lo:
+            self._lo = band
+        self.bytes_queued += size
+        self.pkts_queued += 1
+        return _NO_DROP
+
+    def pop(self) -> Optional[Any]:
+        if not self.pkts_queued:
+            return None
+        bands = self._bands
+        heads = self._heads
+        i = self._lo
+        while heads[i] >= len(bands[i]):
+            i += 1
+        self._lo = i
+        band = bands[i]
+        head = heads[i]
+        pkt = band[head]
+        band[head] = None  # release the reference immediately
+        head += 1
+        if head * 2 >= len(band) and head > 8:
+            del band[:head]
+            head = 0
+        heads[i] = head
+        self.bytes_queued -= pkt.size
+        self.pkts_queued -= 1
+        return pkt
+
+    def peek(self) -> Optional[Any]:
+        if not self.pkts_queued:
+            return None
+        bands = self._bands
+        heads = self._heads
+        for i in range(self._n_bands):
+            if heads[i] < len(bands[i]):
+                return bands[i][heads[i]]
+        return None
+
+    def __len__(self) -> int:
+        return self.pkts_queued
+
+    def __bool__(self) -> bool:
+        return self.pkts_queued > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HotPriorityQueue({self.bytes_queued}/{self.capacity_bytes}B, "
+            f"{self.pkts_queued} pkts)"
+        )

@@ -19,6 +19,24 @@ __all__ = ["SeededRng"]
 T = TypeVar("T")
 
 
+def _resolve_randbelow(rng: random.Random):
+    """Fastest available ``[0, n)`` draw for this interpreter.
+
+    CPython's ``random.Random`` keeps the rejection-sampling core in the
+    private ``_randbelow`` method; aliasing it skips two wrapper frames
+    per call, which matters on the per-packet spraying path.  The method
+    is an implementation detail, though, so interpreters (or future
+    CPythons) may not have it — in that case fall back to the public
+    ``randrange``, which consumes the *identical* underlying stream:
+    for n > 0, ``randrange(n)`` performs exactly one ``_randbelow(n)``
+    draw, so digests do not move, only wrapper overhead returns.
+    """
+    fast = getattr(rng, "_randbelow", None)
+    if callable(fast):
+        return fast
+    return rng.randrange
+
+
 class SeededRng:
     """A seeded random source with derivable named substreams."""
 
@@ -28,11 +46,10 @@ class SeededRng:
         self.seed = int(seed)
         self._rng = random.Random(self.seed)
         self._streams: Dict[str, "SeededRng"] = {}
-        # Hot-path alias: for n > 0, ``randrange(n)`` is exactly one
-        # ``_randbelow(n)`` draw, so this consumes the identical stream
-        # while skipping two wrapper frames per call.  Per-packet
-        # spraying uses it (see net/routing.py).
-        self.randbelow = self._rng._randbelow
+        # Hot-path alias: per-packet spraying uses it (see
+        # net/routing.py).  Resolved defensively — see
+        # :func:`_resolve_randbelow` for the draw-stream argument.
+        self.randbelow = _resolve_randbelow(self._rng)
 
     def stream(self, name: str) -> "SeededRng":
         """Return (creating if needed) an independent named substream.

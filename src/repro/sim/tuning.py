@@ -45,6 +45,16 @@ class SimTuning:
             engine.  Digest-inert like every other knob; turn off to
             exercise the match-action reference semantics (with full
             per-stage ledgers) on any protocol.
+        batch_dispatch: Drain every heap event sharing the head
+            timestamp in one ``(time, seq)``-sorted sweep, amortizing
+            the per-event loop checks across the batch (see
+            :meth:`~repro.sim.engine.EventLoop.run`).
+        backend: Which inner-loop implementation drives the run.
+            ``"pure"`` is the digest-pinned CPython reference;
+            ``"compiled"`` selects the optional accelerated extension
+            (built by ``scripts/build_backend.py``) and falls back to
+            pure — with a visible warning — when no extension imports;
+            ``"auto"`` uses the extension if present, silently.
         wheel_resolution: Timer-wheel tick in seconds.
     """
 
@@ -53,7 +63,16 @@ class SimTuning:
     inline_drain: bool = True
     packet_pool: bool = True
     fused_dataplane: bool = True
+    batch_dispatch: bool = True
+    backend: str = "pure"
     wheel_resolution: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("pure", "compiled", "auto"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                "choose 'pure', 'compiled', or 'auto'"
+            )
 
     @classmethod
     def baseline(cls) -> "SimTuning":
@@ -63,4 +82,5 @@ class SimTuning:
             fused_ports=False,
             inline_drain=False,
             packet_pool=False,
+            batch_dispatch=False,
         )

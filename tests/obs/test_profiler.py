@@ -103,3 +103,31 @@ def test_report_and_ranking():
     assert "tick" in text and "11 events" in text
     hist = profiler.sim_time_histogram("tick")
     assert hist is not None and hist.count == 10
+
+
+def test_hotspots_share_and_per_event_cost():
+    env = EventLoop()
+    profiler = EventLoopProfiler()
+    env.set_profiler(profiler)
+    for i in range(8):
+        env.schedule_at(float(i), tick)
+    env.schedule_at(0.5, tock)
+    env.run()
+    spots = profiler.hotspots(top=2)
+    assert len(spots) == 2
+    # shares are fractions of the total self-time, hottest first
+    assert spots[0]["self_seconds"] >= spots[1]["self_seconds"]
+    for row in spots:
+        assert 0.0 <= row["share"] <= 1.0
+        assert row["mean_seconds"] * row["count"] == pytest.approx(
+            row["self_seconds"]
+        )
+    assert sum(r["share"] for r in profiler.hotspots(top=10)) == pytest.approx(1.0)
+    text = profiler.report()
+    assert "hotspot #1:" in text and "% of self-time" in text
+
+
+def test_hotspots_empty_profile():
+    profiler = EventLoopProfiler()
+    assert profiler.hotspots() == []
+    assert "hotspot" not in profiler.report()

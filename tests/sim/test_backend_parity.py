@@ -1,0 +1,114 @@
+"""Compiled-backend parity: digests must be byte-identical to pure.
+
+The optional accelerated backend (``SimTuning.backend="compiled"``,
+resolved by :mod:`repro.sim.backend`) replaces the dispatch loop and
+the strict-priority port queue with compiled implementations.  That is
+only admissible because of the suite below: the full protocol × seed
+digest matrix agrees with the pure reference exactly, so the backend
+knob is pure wall-clock.
+
+When no compiled extension can be built (no gcc / headers / mypyc /
+Cython), the whole module skips with a visible reason — the pure path
+is already pinned elsewhere.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.net.topology import TopologyConfig
+from repro.sim.tuning import SimTuning
+from repro.validate import run_digest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+PROTOCOLS = ("phost", "pfabric", "fastpass", "dctcp")
+SEEDS = (5, 11)
+
+
+@pytest.fixture(scope="session")
+def compiled_backend():
+    """Build (if needed) and resolve the compiled backend, or skip."""
+    from repro.sim import backend as backend_mod
+
+    if not backend_mod.compiled_available():
+        subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "build_backend.py")],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        # the availability probe is cached; reset it after the build
+        backend_mod._cached_compiled = None
+    if not backend_mod.compiled_available():
+        pytest.skip(
+            "no compiled backend: scripts/build_backend.py found neither "
+            "mypyc, Cython, nor a working C toolchain on this machine"
+        )
+    return backend_mod.resolve_backend("compiled")
+
+
+def _spec(protocol, seed, backend):
+    return ExperimentSpec(
+        protocol=protocol, workload="datamining", n_flows=60,
+        topology=TopologyConfig.small(), max_flow_bytes=120_000, seed=seed,
+        tuning=SimTuning(backend=backend),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_compiled_digest_matches_pure(compiled_backend, protocol, seed):
+    pure = run_digest(run_experiment(_spec(protocol, seed, "pure")))
+    compiled = run_digest(run_experiment(_spec(protocol, seed, "compiled")))
+    assert compiled == pure
+
+
+def test_backend_info_reports_source(compiled_backend):
+    from repro.sim.backend import backend_info
+
+    info = backend_info()
+    assert info["compiled_available"] is True
+    assert info["source"] in (
+        "repro.sim._hotcore",
+        "repro.sim._hotpath_compiled",
+    )
+    assert info["has_drive"] or info["has_priority_queue"]
+
+
+def test_requesting_compiled_without_build_warns(monkeypatch):
+    """`backend="compiled"` with no extension degrades loudly, not
+    silently: a RuntimeWarning pointing at the build script."""
+    from repro.sim import backend as backend_mod
+
+    monkeypatch.setattr(backend_mod, "_cached_compiled", None)
+    monkeypatch.setattr(backend_mod, "_warned", False)
+
+    def no_compiled():
+        return None
+
+    monkeypatch.setattr(backend_mod, "_load_compiled", no_compiled)
+    with pytest.warns(RuntimeWarning, match="build_backend"):
+        resolved = backend_mod.resolve_backend("compiled")
+    assert resolved.name == "pure"
+    # "auto" with the same absence stays silent by design
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert backend_mod.resolve_backend("auto").name == "pure"
+
+
+def test_unknown_backend_rejected():
+    from repro.sim.backend import resolve_backend
+
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("jit")
+    with pytest.raises(ValueError, match="backend"):
+        SimTuning(backend="jit")

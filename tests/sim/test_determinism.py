@@ -111,8 +111,18 @@ def test_tuning_knobs_do_not_change_behaviour(protocol, seed):
         SimTuning(inline_drain=False),
         SimTuning(packet_pool=False),
         SimTuning(fused_dataplane=False),
+        SimTuning(batch_dispatch=False),
+        SimTuning(backend="auto"),
     ],
-    ids=["no-wheel", "no-fusion", "no-drain", "no-pool", "no-fused-dataplane"],
+    ids=[
+        "no-wheel",
+        "no-fusion",
+        "no-drain",
+        "no-pool",
+        "no-fused-dataplane",
+        "no-batch",
+        "backend-auto",
+    ],
 )
 def test_each_tuning_knob_is_independently_inert(tuning):
     """Disable one optimization at a time: any digest drift localizes

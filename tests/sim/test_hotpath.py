@@ -1,0 +1,179 @@
+"""Parity suite for the carved-out inner loop (repro.sim.hotpath).
+
+``hotpath.drive`` and ``HotPriorityQueue`` are the compile targets of
+the optional accelerated backend — and the executable specification of
+the C core.  These tests hold them byte-identical to the inlined
+``EventLoop.run`` loop and to ``PriorityQueue`` so every backend
+variant (pure, mypyc/Cython, hand-written C) inherits one proven
+semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.net.packet import Flow, Packet, PacketType
+from repro.net.queues import PriorityQueue
+from repro.net.topology import TopologyConfig
+from repro.sim import hotpath
+from repro.sim.engine import EventLoop
+from repro.validate import run_digest
+
+
+def _spec(protocol="phost", seed=5):
+    return ExperimentSpec(
+        protocol=protocol, workload="datamining", n_flows=60,
+        topology=TopologyConfig.small(), max_flow_bytes=120_000, seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# heap primitives vs heapq
+# ----------------------------------------------------------------------
+_KEYS = st.lists(
+    st.tuples(
+        st.one_of(
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0.0, max_value=50.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        st.integers(min_value=0, max_value=10_000),  # seq, made unique below
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_KEYS)
+def test_heap_primitives_match_heapq(keys):
+    """Same push sequence, same pop order — on int *and* float times,
+    with heavy (time) collisions broken by the unique seq."""
+    entries = [
+        [when, i, (lambda: None), (), None] for i, (when, _) in enumerate(keys)
+    ]
+    ours, theirs = [], []
+    for e in entries:
+        hotpath.heap_push(ours, list(e))
+        heapq.heappush(theirs, list(e))
+    order_a = [tuple(hotpath.heap_pop_min(ours)[:2]) for _ in range(len(entries))]
+    order_b = [tuple(heapq.heappop(theirs)[:2]) for _ in range(len(entries))]
+    assert order_a == order_b
+
+
+def test_heap_primitives_interoperate_with_heapq():
+    """schedule() uses heapq.heappush while drive() pops with the
+    custom sift — both maintain the same invariant, so mixing is safe."""
+    heap = []
+    for i, when in enumerate([5.0, 1.0, 3.0, 1.0, 4.0, 0.5]):
+        heapq.heappush(heap, [when, i, None, (), None])
+    hotpath.heap_push(heap, [2.0, 99, None, (), None])
+    popped = [hotpath.heap_pop_min(heap)[0] for _ in range(len(heap))]
+    assert popped == sorted(popped)
+
+
+# ----------------------------------------------------------------------
+# drive() vs EventLoop.run
+# ----------------------------------------------------------------------
+def test_drive_digest_parity_full_run():
+    reference = run_digest(run_experiment(_spec()))
+    env_digest = {}
+
+    class Probe:
+        """Instrumentation hook installing hotpath.drive into the loop."""
+
+        def bind(self, ctx):
+            ctx.env.set_drive(hotpath.drive)
+            env_digest["env"] = ctx.env
+            return self
+
+    res = run_experiment(_spec().variant(instruments=(Probe(),)))
+    assert run_digest(res) == reference
+    # the driven loop really was the one that ran
+    assert env_digest["env"].events_processed > 0
+
+
+def test_drive_handles_stop_budget_and_empty_run():
+    env = EventLoop()
+    env.set_drive(hotpath.drive)
+    fired = []
+    for k in range(4):
+        env.schedule_at(1.0, fired.append, k)
+    assert env.run(max_events=2) == 2
+    assert fired == [0, 1]
+    env.schedule_at(2.0, env.stop)
+    env.schedule_at(3.0, fired.append, 99)
+    env.run()
+    assert 99 not in fired
+    env.run()  # drains the remaining event
+    assert fired == [0, 1, 2, 3, 99]
+    assert env.run() == 0  # empty heap: no-op
+    assert env.run(until=7.5) == 0
+    assert env.now == 7.5
+
+
+def test_drive_restores_flags_on_callback_exception():
+    env = EventLoop()
+    env.set_drive(hotpath.drive)
+
+    def boom():
+        raise RuntimeError("boom")
+
+    env.schedule_at(1.0, boom)
+    before = env.events_processed
+    try:
+        env.run()
+    except RuntimeError:
+        pass
+    else:  # pragma: no cover - the exception must propagate
+        raise AssertionError("callback exception swallowed")
+    assert env._no_drain is True
+    assert env._until is None
+    # mirrors the inlined loop: the aborted drive adds nothing
+    assert env.events_processed == before
+
+
+# ----------------------------------------------------------------------
+# HotPriorityQueue vs PriorityQueue
+# ----------------------------------------------------------------------
+def _mk_pkt(i, size, priority):
+    flow = Flow(fid=i, src=0, dst=1, size_bytes=size, arrival=0.0)
+    return Packet(PacketType.DATA, flow, 0, 0, 1, size, priority=priority)
+
+
+_QOPS = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pop", "peek"]),
+        st.integers(min_value=40, max_value=3000),   # size
+        st.integers(min_value=-2, max_value=9),      # priority (clamped)
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_QOPS, st.integers(min_value=1, max_value=8))
+def test_hot_queue_matches_reference_queue(ops, n_bands):
+    ref = PriorityQueue(capacity_bytes=20_000, n_bands=n_bands)
+    hot = hotpath.HotPriorityQueue(20_000, n_bands)
+    for i, (op, size, priority) in enumerate(ops):
+        if op == "push":
+            pkt = _mk_pkt(i, size, priority)
+            assert list(hot.push(pkt)) == list(ref.push(pkt))
+        elif op == "pop":
+            assert hot.pop() is ref.pop()
+        else:
+            assert hot.peek() is ref.peek()
+        assert (hot.bytes_queued, hot.pkts_queued, len(hot), bool(hot)) == (
+            ref.bytes_queued, ref.pkts_queued, len(ref), bool(ref)
+        )
+        assert [list(b) for b in hot.bands] == [list(b) for b in ref.bands]
+    while ref.pkts_queued:
+        assert hot.pop() is ref.pop()
+    assert hot.pop() is None and ref.pop() is None

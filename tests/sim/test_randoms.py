@@ -73,3 +73,49 @@ def test_sample_without_replacement():
     picked = rng.sample(range(50), 10)
     assert len(set(picked)) == 10
     assert all(0 <= p < 50 for p in picked)
+
+
+# ----------------------------------------------------------------------
+# randbelow resolution (private-API alias with public fallback)
+# ----------------------------------------------------------------------
+def test_randbelow_prefers_private_fast_path():
+    import random
+
+    from repro.sim.randoms import _resolve_randbelow
+
+    rng = random.Random(7)
+    assert _resolve_randbelow(rng) == rng._randbelow
+
+
+def test_randbelow_falls_back_to_public_api_same_stream():
+    """Without ``_randbelow`` the resolver degrades to ``randrange`` —
+    and the draw stream is identical, because ``randrange(n)`` performs
+    exactly one ``_randbelow(n)`` draw."""
+    import random
+
+    from repro.sim.randoms import _resolve_randbelow
+
+    class PublicOnly:
+        """random.Random as a non-CPython interpreter might expose it:
+        public draw methods only, no ``_randbelow`` attribute."""
+
+        def __init__(self, seed):
+            self._inner = random.Random(seed)
+
+        def randrange(self, n):
+            return self._inner.randrange(n)
+
+    fallback = _resolve_randbelow(PublicOnly(99))
+    reference = random.Random(99)
+    draws = [fallback(1 + (i % 17)) for i in range(200)]
+    assert draws == [reference._randbelow(1 + (i % 17)) for i in range(200)]
+
+
+def test_randbelow_alias_matches_reference_stream():
+    import random
+
+    rng = SeededRng(1234)
+    reference = random.Random(1234)
+    assert [rng.randbelow(10) for _ in range(100)] == [
+        reference._randbelow(10) for _ in range(100)
+    ]
