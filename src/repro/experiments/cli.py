@@ -117,6 +117,27 @@ def build_parser() -> argparse.ArgumentParser:
             "by contract — only wall-clock changes"
         ),
     )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        metavar="N|auto|off",
+        help=(
+            "sharded per-rack execution for --run/--sweep (SimTuning."
+            "shards): an explicit shard count, 'auto' (racks/CPUs "
+            "capped), or 'off' (default).  Digests are byte-identical "
+            "to the serial run; unsupported specs warn and run serially"
+        ),
+    )
+    parser.add_argument(
+        "--shard-transport",
+        default=None,
+        choices=("auto", "inprocess", "processes"),
+        help=(
+            "executor for --shards: 'processes' (forked workers), "
+            "'inprocess' (sequential, for debugging), or 'auto' "
+            "(default: processes when sharding and fork is available)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--load", type=float, default=0.6, help="network load for --run")
     parser.add_argument("--flows", type=int, default=None, help="flow count for --run")
@@ -437,6 +458,17 @@ def _result_dict(result: ExperimentResult) -> dict:
         if report.chrome_trace_path is not None:
             obs["chrome_trace"] = report.chrome_trace_path
         payload["obs"] = obs
+    from repro.validate import run_digest
+
+    payload["run_digest"] = run_digest(result)
+    if result.shard_stats is not None:
+        stats = result.shard_stats
+        payload["shards"] = {
+            "n_shards": stats.n_shards,
+            "transport": stats.transport,
+            "rounds": stats.rounds,
+            "events_per_shard": [s.events_processed for s in stats.shards],
+        }
     return payload
 
 
@@ -527,15 +559,23 @@ def _list_dataplanes(args: argparse.Namespace) -> int:
 
 
 def _backend_variant(spec: ExperimentSpec, args: argparse.Namespace) -> ExperimentSpec:
-    """Apply ``--backend`` onto the spec's tuning (keeping other knobs)."""
-    if getattr(args, "backend", None) is None:
+    """Apply ``--backend``/``--shards`` onto the spec's tuning."""
+    changes: dict = {}
+    if getattr(args, "backend", None) is not None:
+        changes["backend"] = args.backend
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        changes["shards"] = shards if shards in ("auto", "off") else int(shards)
+    if getattr(args, "shard_transport", None) is not None:
+        changes["shard_transport"] = args.shard_transport
+    if not changes:
         return spec
     from dataclasses import replace as _dc_replace
 
     from repro.sim.tuning import SimTuning
 
     tuning = spec.tuning if spec.tuning is not None else SimTuning()
-    return spec.variant(tuning=_dc_replace(tuning, backend=args.backend))
+    return spec.variant(tuning=_dc_replace(tuning, **changes))
 
 
 def _run_single(args: argparse.Namespace) -> int:

@@ -68,6 +68,13 @@ def _run_with_heartbeats(
 
     label = spec_label(spec)
 
+    tuning = spec.tuning
+    if tuning is not None and tuning.shards != "off":
+        # Sharded runs own their event loops (one per shard worker), so
+        # the single-loop heartbeat profiler cannot observe them; run
+        # through the normal dispatcher and report only start/done.
+        return run_experiment(spec)
+
     def on_heartbeat(hb: Heartbeat) -> None:
         emit(
             ProgressEvent(
@@ -181,12 +188,23 @@ def run_experiments_parallel(
     "print heartbeat lines to stderr"); ``heartbeat_wall_seconds``
     spaces the ``running`` heartbeats.  Progress observation is free of
     behavioural side effects — results remain byte-identical.
+
+    Cross-run and in-run parallelism compose: when specs request
+    sharded execution (``tuning.shards``), the default process budget
+    is divided by the widest run's shard count so the two layers do not
+    oversubscribe the machine.  Sharded runs inside pool workers use
+    the in-process shard executor automatically (daemonic workers
+    cannot fork again), so an explicit ``processes=`` cap still yields
+    correct, merely narrower, runs.
     """
     specs = list(specs)
     if not specs:
         return []
     if processes is None:
-        processes = min(len(specs), _available_cpus())
+        from repro.sim.shard import shard_width_hint
+
+        width = max(shard_width_hint(spec) for spec in specs)
+        processes = min(len(specs), max(1, _available_cpus() // width))
     if processes < 1:
         raise ValueError("processes must be >= 1")
     sink: Optional[Callable[[ProgressEvent], None]]

@@ -56,6 +56,20 @@ class SimTuning:
             pure — with a visible warning — when no extension imports;
             ``"auto"`` uses the extension if present, silently.
         wheel_resolution: Timer-wheel tick in seconds.
+        shards: Partition the fabric into per-rack shards that run
+            concurrently under conservative synchronization (see
+            :mod:`repro.sim.shard`).  ``"off"`` (default) is the
+            single-process reference path; ``"auto"`` picks
+            ``min(n_racks, cpus, 8)``; an integer requests that many
+            shards (clamped to the rack count).  Digest-inert like
+            every other knob: sharded runs are byte-identical to
+            serial ones on supported specs, and unsupported specs fall
+            back to serial with a warning.
+        shard_transport: How shard workers execute. ``"auto"`` uses
+            worker processes when the platform supports fork and the
+            current process may spawn children, else the in-process
+            round-robin executor; ``"inprocess"`` / ``"processes"``
+            force one or the other.  Both executors are byte-identical.
     """
 
     timer_wheel: bool = True
@@ -66,12 +80,27 @@ class SimTuning:
     batch_dispatch: bool = True
     backend: str = "pure"
     wheel_resolution: float = 1e-6
+    shards: object = "off"
+    shard_transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.backend not in ("pure", "compiled", "auto"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
                 "choose 'pure', 'compiled', or 'auto'"
+            )
+        shards = self.shards
+        if isinstance(shards, bool) or not (
+            shards in ("off", "auto")
+            or (isinstance(shards, int) and shards >= 1)
+        ):
+            raise ValueError(
+                f"shards must be 'off', 'auto', or a positive int, got {shards!r}"
+            )
+        if self.shard_transport not in ("auto", "inprocess", "processes"):
+            raise ValueError(
+                f"unknown shard_transport {self.shard_transport!r}; "
+                "choose 'auto', 'inprocess', or 'processes'"
             )
 
     @classmethod

@@ -1,0 +1,98 @@
+"""Fault injection under sharded execution.
+
+A downed inter-rack uplink is exactly the event a shard boundary must
+get right: the link's tap lives at hop 2, so under sharding the drop
+verdict is recomputed on the *sender* side from the plan's replayed
+timeline (:class:`repro.sim.shard._LinkStateTimeline`) instead of the
+receiver's tap state.  These tests pin that
+
+* a :class:`FaultPlan` with a mid-run inter-rack ``LinkDown`` produces
+  the same digest, a clean :class:`ConservationAuditor` report, and an
+  identical fault-drop ledger whether the run is serial or sharded;
+* spray exclusion is consistent across shards: the injector's toggle
+  events are roots replayed in *every* shard's fabric replica, so each
+  shard's ToR routing closure sees the same ``live_uplinks`` view at
+  the same simulated time.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments.defaults import make_spec
+from repro.experiments.runner import run_experiment
+from repro.faults import FaultPlan, LinkDown
+from repro.sim.tuning import SimTuning
+from repro.sim.shard import ShardPlan, ShardRuntime
+from repro.validate import run_digest, standard_auditors
+
+pytestmark = pytest.mark.faults
+
+#: One inter-rack uplink dark for a 100us window mid-run, plus the
+#: reverse-direction core downlink: spray exclusion steers traffic off
+#: the uplink (few in-flight losses), but nothing can steer around a
+#: dead core->ToR hop, so the ledger records real drops.
+UPLINK = "tor1.up.c1"
+PLAN = FaultPlan(
+    link_downs=(
+        LinkDown(UPLINK, down_at=20e-6, up_at=120e-6),
+        LinkDown("core1.down.tor1", down_at=30e-6, up_at=200e-6),
+    ),
+    seed=11,
+)
+
+
+def _spec(protocol: str = "phost"):
+    return make_spec(protocol, "websearch", "tiny", seed=42).variant(
+        faults=PLAN, instruments=standard_auditors()
+    )
+
+
+@pytest.mark.parametrize("protocol", ("phost", "pfabric"))
+def test_sharded_fault_run_matches_serial_and_audits_clean(protocol):
+    serial = run_experiment(_spec(protocol))
+    with warnings.catch_warnings():
+        # A silent serial fallback would make this test vacuous.
+        warnings.simplefilter("error", RuntimeWarning)
+        sharded = run_experiment(
+            _spec(protocol).variant(tuning=SimTuning(shards=2))
+        )
+
+    assert run_digest(sharded) == run_digest(serial)
+    # The down window genuinely bites (packets in flight at down_at are
+    # dropped), and the merged ledger reproduces it exactly.
+    assert serial.fault_drops > 0
+    assert sharded.fault_drops == serial.fault_drops
+    # Conservation (offered = delivered + dropped + in-flight) holds on
+    # both sides: injected drops are ledgered, never leaked.
+    assert serial.audit is not None and serial.audit.ok, serial.audit
+    assert sharded.audit is not None and sharded.audit.ok, sharded.audit
+
+
+def test_live_uplinks_consistent_from_every_shard():
+    """Every shard's replica of tor1 excludes the downed uplink."""
+    spec = _spec("phost")
+    plan = ShardPlan.build(spec.topology, 2)
+    probe_at = 60e-6  # inside the [20us, 120us) down window
+
+    for sid in range(plan.n_shards):
+        rt = ShardRuntime(spec, plan, sid)
+        tor = rt.fabric.tors[1]
+        live_before = {p.name for p in tor.route.live_uplinks()}
+        assert UPLINK in live_before, "uplink should start live"
+
+        rt.env.run_window(probe_at, rt.guard)
+        live = {p.name for p in tor.route.live_uplinks()}
+        assert UPLINK not in live, (
+            f"shard {sid} still sprays over downed uplink {UPLINK}"
+        )
+        # The other uplink stays in the spray set — exclusion, not
+        # shutdown.
+        assert live, f"shard {sid} lost all uplinks"
+
+        rt.env.run_window(150e-6, rt.guard)
+        assert UPLINK in {p.name for p in tor.route.live_uplinks()}, (
+            f"shard {sid} did not restore the uplink after up_at"
+        )

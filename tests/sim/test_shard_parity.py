@@ -1,0 +1,171 @@
+"""Shard-parity battery: sharded runs are byte-identical to serial.
+
+The contract of :mod:`repro.sim.shard` is exact determinism — the
+``run_digest`` of a sharded run must equal the serial run's, for any
+shard count and either transport.  This battery pins that on the two
+canonical scenario families:
+
+* **fig3-tiny** — the websearch anchor scenario every other suite pins
+  (goldens, bench smoke), moderate cross-rack traffic;
+* **incast-skew** — an adversarial open-loop variant where every flow
+  targets rack 0, producing synchronized cross-shard packet chains
+  with hundreds of generations of equal-timestamp lineage ties (the
+  regression shape that breaks naive tie-ordering schemes);
+* **fig9c-tiny** — the closed-loop incast driver, which does not shard
+  (the request loop is inherently global) and must stay bit-stable
+  when sharding is requested anyway.
+
+Serial references are computed once per scenario and shared across the
+shard-count parametrization via a module-level cache.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.defaults import SCALES, make_spec
+from repro.experiments.runner import run_experiment, run_incast
+from repro.sim.tuning import SimTuning
+from repro.validate import incast_digest, run_digest
+from repro.workloads.skew import SkewConfig
+
+PROTOCOLS = ("phost", "pfabric", "fastpass", "dctcp")
+SEEDS = (42, 5)
+SHARD_COUNTS = (1, 2, 4)
+
+#: fig3-tiny phost seed42 event count, pinned against
+#: benchmarks/results/bench_baseline.json (the bench --check pin).
+FIG3_TINY_PHOST_EVENTS = 73876
+
+GOLDEN_PATH = Path(__file__).parent.parent / "validate" / "golden_digests.json"
+
+
+def fig3_spec(protocol: str, seed: int):
+    return make_spec(protocol, "websearch", "tiny", seed=seed)
+
+
+def incast_skew_spec(protocol: str, seed: int):
+    """Open-loop all-to-rack-0 skew: maximal cross-shard lockstep."""
+    return make_spec(protocol, "datamining", "tiny", seed=seed).variant(
+        traffic_matrix="skewed",
+        skew=SkewConfig(
+            hot_racks=(0,),
+            src_hot_fraction=0.0,
+            dst_hot_fraction=1.0,
+            rack_affinity=0.0,
+        ),
+    )
+
+
+_serial_cache: dict = {}
+
+
+def serial_digest(builder, protocol: str, seed: int) -> str:
+    key = (builder.__name__, protocol, seed)
+    if key not in _serial_cache:
+        _serial_cache[key] = run_digest(run_experiment(builder(protocol, seed)))
+    return _serial_cache[key]
+
+
+def sharded_digest(spec, shards, transport="inprocess") -> str:
+    tuned = spec.variant(
+        tuning=SimTuning(shards=shards, shard_transport=transport)
+    )
+    with warnings.catch_warnings():
+        # A silent fallback to serial would make parity pass vacuously.
+        warnings.simplefilter("error", RuntimeWarning)
+        return run_digest(run_experiment(tuned))
+
+
+# ----------------------------------------------------------------------
+# Digest parity + shard-count inertness
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fig3_tiny_sharded_matches_serial(protocol: str, seed: int):
+    ref = serial_digest(fig3_spec, protocol, seed)
+    for shards in SHARD_COUNTS:
+        assert sharded_digest(fig3_spec(protocol, seed), shards) == ref, (
+            f"shards={shards} digest diverged from serial"
+        )
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_incast_skew_sharded_matches_serial(protocol: str):
+    # One seed per protocol: this scenario is ~10x denser than fig3-tiny.
+    ref = serial_digest(incast_skew_spec, protocol, 42)
+    for shards in (2, 4):
+        assert sharded_digest(incast_skew_spec(protocol, 42), shards) == ref
+
+
+def test_process_transport_matches_inprocess():
+    spec = fig3_spec("phost", 42)
+    ref = serial_digest(fig3_spec, "phost", 42)
+    assert sharded_digest(spec, 2, "processes") == ref
+
+
+@pytest.mark.parametrize("protocol", ("phost", "dctcp"))
+def test_fig9c_tiny_stable_when_sharding_requested(protocol: str):
+    preset = SCALES["tiny"]
+
+    def once(tuning):
+        return incast_digest(
+            run_incast(
+                protocol,
+                n_senders=9,
+                total_bytes=preset.incast_bytes,
+                n_requests=preset.incast_requests,
+                topology=preset.topology,
+                seed=42,
+                tuning=tuning,
+            )
+        )
+
+    assert once(None) == once(SimTuning(shards=2))
+
+
+# ----------------------------------------------------------------------
+# shards=off leaves the serial path untouched
+# ----------------------------------------------------------------------
+
+def test_shards_off_keeps_fig3_tiny_events_pin_and_golden():
+    result = run_experiment(
+        fig3_spec("phost", 42).variant(tuning=SimTuning(shards="off"))
+    )
+    assert result.events_processed == FIG3_TINY_PHOST_EVENTS
+    goldens = json.loads(GOLDEN_PATH.read_text())
+    assert run_digest(result) == goldens["fig3-tiny-phost-websearch-seed42"]
+
+
+def test_sharded_run_reports_shard_stats():
+    spec = fig3_spec("phost", 42).variant(
+        tuning=SimTuning(shards=2, shard_transport="inprocess")
+    )
+    result = run_experiment(spec)
+    stats = result.shard_stats
+    assert stats is not None
+    assert stats.n_shards == 2
+    assert stats.transport == "inprocess"
+    assert stats.rounds > 0
+    assert len(stats.shards) == 2
+    assert all(s.events_processed > 0 for s in stats.shards)
+    # Serial results never carry shard stats.
+    assert run_experiment(fig3_spec("phost", 42)).shard_stats is None
+
+
+# ----------------------------------------------------------------------
+# Unsupported specs fall back serially — loudly, and bit-identically
+# ----------------------------------------------------------------------
+
+def test_unsupported_spec_warns_and_matches_serial():
+    spec = fig3_spec("phost", 42).variant(stability_samples=4)
+    ref = run_digest(run_experiment(spec))
+    with pytest.warns(RuntimeWarning, match="sharded execution unavailable"):
+        result = run_experiment(spec.variant(tuning=SimTuning(shards=2)))
+    assert run_digest(result) == ref
+    assert result.shard_stats is None

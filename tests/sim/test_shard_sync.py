@@ -1,0 +1,157 @@
+"""Property tests for the conservative-sync core of repro.sim.shard.
+
+The window/merge primitives are pure functions, so they are tested in
+isolation from the simulator: Hypothesis drives random schedules
+through a toy model of the round protocol and checks the invariants
+the real coordinator (:func:`repro.sim.shard._drive`) relies on:
+
+* **safety** — no cross-shard message is ever delivered at a time
+  inside the horizon that was granted when it was sent (every effect
+  stays at least one lookahead in the future);
+* **progress** — the round loop always terminates: each granted window
+  contains at least the globally-earliest pending event, so a finite
+  schedule drains in finitely many rounds (no deadlock);
+* **canonical merge** — merging per-shard ``(time, key)`` streams
+  gives exactly the order a single shared queue would have produced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.sim.shard import canonical_merge, next_window  # noqa: E402
+
+LOOKAHEAD = 2e-7
+GUARD = 1.0
+
+times = st.floats(
+    min_value=0.0, max_value=GUARD, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# next_window in isolation
+# ----------------------------------------------------------------------
+
+@given(
+    t_nexts=st.lists(times | st.just(math.inf), max_size=6),
+    held=st.lists(times, max_size=6),
+)
+def test_next_window_grants_minimum_plus_lookahead(t_nexts, held):
+    horizon = next_window(t_nexts, held, LOOKAHEAD, GUARD)
+    cand = min(min(t_nexts, default=math.inf), min(held, default=math.inf))
+    if cand == math.inf or cand > GUARD:
+        assert horizon is None
+    else:
+        assert horizon == cand + LOOKAHEAD
+        # The grant always strictly contains the earliest work item, so
+        # every round executes or delivers something: progress.
+        assert cand < horizon
+
+
+@given(t_nexts=st.lists(st.floats(min_value=GUARD * 1.01, max_value=10.0), min_size=1, max_size=4))
+def test_next_window_stops_on_guard(t_nexts):
+    assert next_window(t_nexts, [], LOOKAHEAD, GUARD) is None
+
+
+# ----------------------------------------------------------------------
+# Toy round protocol: safety + progress + merge vs serial reference
+# ----------------------------------------------------------------------
+
+def _toy_events(draw_times, n_shards):
+    """[(when, (when, sid, idx), sid, emits_to)] with canonical keys."""
+    events = []
+    for sid, whens in enumerate(draw_times):
+        for idx, (when, target) in enumerate(whens):
+            events.append((when, (when, sid, idx), sid, target % n_shards))
+    return events
+
+
+schedules = st.lists(
+    st.lists(st.tuples(times, st.integers(min_value=0, max_value=3)), max_size=8),
+    min_size=2,
+    max_size=4,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(draw_times=schedules)
+def test_round_protocol_safety_progress_and_merge(draw_times):
+    n_shards = len(draw_times)
+    events = _toy_events(draw_times, n_shards)
+
+    # Per-shard pending queues (sorted by canonical (when, key) order)
+    # plus coordinator-held in-flight messages, exactly like _drive.
+    pending = [
+        sorted([e for e in events if e[2] == sid]) for sid in range(n_shards)
+    ]
+    held = [[] for _ in range(n_shards)]
+    executed = [[] for _ in range(n_shards)]
+    rounds = 0
+    max_rounds = 4 * (len(events) * 2 + 1) + 4  # generous progress bound
+
+    while True:
+        rounds += 1
+        assert rounds <= max_rounds, "round loop failed to make progress"
+        t_nexts = [q[0][0] if q else math.inf for q in pending]
+        held_whens = [m[0] for q in held for m in q]
+        horizon = next_window(t_nexts, held_whens, LOOKAHEAD, GUARD)
+        if horizon is None:
+            break
+        # Deliver messages granted to this round.
+        for sid in range(n_shards):
+            for msg in held[sid]:
+                pending[sid].append(msg)
+            pending[sid].sort()
+        held = [[] for _ in range(n_shards)]
+        # Run every event below the horizon; emissions are one-lookahead
+        # relays of the executing event (the toy analogue of a packet
+        # crossing an inter-rack link).
+        for sid in range(n_shards):
+            queue = pending[sid]
+            while queue and queue[0][0] < horizon:
+                when, key, owner, target = queue.pop(0)
+                executed[sid].append((when, key))
+                if target != sid and when + LOOKAHEAD <= GUARD:
+                    msg_when = when + LOOKAHEAD
+                    # SAFETY: the emitted effect must not land inside
+                    # the very window being executed.
+                    assert msg_when + 1e-12 >= horizon
+                    held[target].append(
+                        (msg_when, (msg_when, sid, key), target, target)
+                    )
+
+    assert all(not q for q in held), "undelivered messages at termination"
+    leftovers = [e for q in pending for e in q]
+    assert all(e[0] > GUARD for e in leftovers), (
+        "in-guard events left unexecuted at termination"
+    )
+
+    # Canonical merge of the per-shard executed streams must equal the
+    # single-queue reference order over the same executed set.
+    merged = canonical_merge(executed)
+    reference = sorted(
+        (item for stream in executed for item in stream),
+        key=lambda item: (item[0], item[1]),
+    )
+    assert merged == reference
+
+
+@given(
+    streams=st.lists(
+        st.lists(st.tuples(times, st.integers(0, 100)), max_size=10),
+        max_size=4,
+    )
+)
+def test_canonical_merge_equals_reference_merge(streams):
+    merged = canonical_merge(streams)
+    assert merged == sorted(
+        (item for s in streams for item in s), key=lambda i: (i[0], i[1])
+    )
+    # Merging is a permutation: nothing invented, nothing dropped.
+    assert len(merged) == sum(len(s) for s in streams)
